@@ -1,0 +1,95 @@
+"""Related-work ablation — DVFS vs sleep states vs both (SleepScale-style).
+
+The paper positions HolDCSim as the platform for exploring exactly this
+design space (§VI: SleepScale "studies server processor power management by
+orchestrating processor sleep state and frequency settings").  This bench
+runs the same workload under four strategies:
+
+* active-idle   — nominal frequency, no system sleep (baseline);
+* dvfs-only     — ondemand governor, no system sleep;
+* race-to-idle  — nominal frequency, packing dispatch + delay-timer sleep;
+* combined      — packing + delay timer + governor.
+
+The workload is partially memory-bound (compute intensity 0.4), the regime
+where lowering frequency costs little runtime but cuts active power
+superlinearly — where DVFS actually pays.  Expected shapes: DVFS-only cuts
+CPU energy vs active-idle; sleep states dominate total energy at low
+utilization because only they touch platform idle power; combining both is
+not materially worse than sleep alone.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import onoff_cloud_server
+from repro.core.rng import RandomSource
+from repro.experiments.common import build_farm, drive
+from repro.power.controller import AlwaysOnController, DelayTimerController
+from repro.power.dvfs import DvfsGovernor
+from repro.scheduling.policies import LeastLoadedPolicy, PackingPolicy
+from repro.workload.arrivals import PoissonProcess, arrival_rate_for_utilization
+from repro.workload.profiles import ExponentialService, SingleTaskJobFactory
+
+RHO = 0.2
+N_SERVERS = 12
+N_CORES = 2
+MEAN_SERVICE_S = 0.005
+COMPUTE_INTENSITY = 0.4
+DURATION_S = 20.0
+
+
+def run_strategy(use_dvfs: bool, tau, packing: bool, seed=4):
+    policy = PackingPolicy() if packing else LeastLoadedPolicy()
+    farm = build_farm(N_SERVERS, onoff_cloud_server(n_cores=N_CORES),
+                      policy=policy, seed=seed)
+    controller = (
+        DelayTimerController(farm.engine, tau) if tau is not None
+        else AlwaysOnController()
+    )
+    for server in farm.servers:
+        server.attach_controller(controller)
+    if use_dvfs:
+        governor = DvfsGovernor(farm.engine, farm.servers, interval_s=0.02,
+                                up_threshold=0.95, down_threshold=0.6)
+        governor.start()
+    rng = RandomSource(seed)
+    rate = arrival_rate_for_utilization(RHO, MEAN_SERVICE_S, N_SERVERS, N_CORES)
+    factory = SingleTaskJobFactory(
+        ExponentialService(MEAN_SERVICE_S), rng.stream("svc"),
+        compute_intensity=COMPUTE_INTENSITY,
+    )
+    drive(farm, PoissonProcess(rate, rng.stream("arr")), factory,
+          duration_s=DURATION_S, drain=False)
+    latency = farm.scheduler.job_latency
+    breakdown = farm.energy_breakdown_j(DURATION_S)
+    return {
+        "total_j": sum(breakdown.values()),
+        "cpu_j": breakdown["cpu"],
+        "p95_ms": latency.percentile(95) * 1e3,
+    }
+
+
+def test_dvfs_vs_sleep_states(once):
+    def run_all():
+        return {
+            "active-idle": run_strategy(use_dvfs=False, tau=None, packing=False),
+            "dvfs-only": run_strategy(use_dvfs=True, tau=None, packing=False),
+            "race-to-idle": run_strategy(use_dvfs=False, tau=0.05, packing=True),
+            "combined": run_strategy(use_dvfs=True, tau=0.05, packing=True),
+        }
+
+    results = once(run_all)
+    print()
+    print(f"DVFS vs sleep states (rho={RHO}, memory-bound web search):")
+    print(f"{'strategy':>14} {'total(kJ)':>10} {'cpu(kJ)':>9} {'p95(ms)':>9}")
+    for name, r in results.items():
+        print(
+            f"{name:>14} {r['total_j']/1e3:>10.2f} {r['cpu_j']/1e3:>9.2f} "
+            f"{r['p95_ms']:>9.2f}"
+        )
+
+    # DVFS trims CPU energy on partially memory-bound work.
+    assert results["dvfs-only"]["cpu_j"] < 0.97 * results["active-idle"]["cpu_j"]
+    # Sleep states dominate total energy at low utilization (platform power).
+    assert results["race-to-idle"]["total_j"] < results["dvfs-only"]["total_j"]
+    # Adding DVFS on top of sleep does not materially hurt.
+    assert results["combined"]["total_j"] < 1.05 * results["race-to-idle"]["total_j"]

@@ -1,0 +1,64 @@
+"""§II ablation — unified vs per-core local task queues.
+
+The paper motivates modeling the local scheduler because "several prior
+works have shown the performance impact of local scheduler policies (e.g., a
+unified task queue or per-core task queue)" (citing Li et al.'s "Tales of
+the Tail", which measured per-core FIFO queues inflating the tail through
+head-of-line blocking).
+
+This bench runs the same Poisson workload with a bimodal (heavy-tailed)
+service distribution — 4%% of requests cost 25x the common case, the regime
+where queue placement matters — against the two local scheduler policies.
+Expected shape: identical mean load, but the per-core queue's p99 is
+substantially worse than the unified queue's because short requests get
+stuck behind slow ones and cannot migrate.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ServerConfig, small_cloud_server
+from repro.core.rng import RandomSource
+from repro.experiments.common import build_farm, drive
+from repro.scheduling.policies import LeastLoadedPolicy
+from repro.workload.arrivals import PoissonProcess, arrival_rate_for_utilization
+from repro.workload.profiles import BimodalService, SingleTaskJobFactory
+
+
+def run_queue_policy(queue_policy, rho=0.7, n_servers=4, n_cores=4,
+                     n_jobs=60_000, seed=5):
+    base = small_cloud_server(n_cores=n_cores)
+    config = ServerConfig.from_dict({**base.to_dict(), "queue_policy": queue_policy})
+    farm = build_farm(n_servers, config, policy=LeastLoadedPolicy(), seed=seed)
+    rng = RandomSource(seed)
+    sampler = BimodalService(short_s=0.005, long_s=0.125, long_fraction=0.04)
+    rate = arrival_rate_for_utilization(rho, sampler.mean_s, n_servers, n_cores)
+    factory = SingleTaskJobFactory(sampler, rng.stream("svc"))
+    drive(farm, PoissonProcess(rate, rng.stream("arr")), factory,
+          max_jobs=n_jobs, drain=True)
+    latency = farm.scheduler.job_latency
+    return {
+        "mean_ms": latency.mean() * 1e3,
+        "p95_ms": latency.percentile(95) * 1e3,
+        "p99_ms": latency.percentile(99) * 1e3,
+    }
+
+
+def test_per_core_queues_inflate_the_tail(once):
+    def run_both():
+        return {
+            "unified": run_queue_policy("unified"),
+            "per_core": run_queue_policy("per_core"),
+        }
+
+    results = once(run_both)
+    print()
+    print("local scheduler ablation (rho=0.7, bimodal 5ms/125ms service):")
+    print(f"{'queue policy':>14} {'mean(ms)':>10} {'p95(ms)':>9} {'p99(ms)':>9}")
+    for name, r in results.items():
+        print(f"{name:>14} {r['mean_ms']:>10.2f} {r['p95_ms']:>9.2f} {r['p99_ms']:>9.2f}")
+
+    unified, per_core = results["unified"], results["per_core"]
+    # Head-of-line blocking: short requests stuck behind slow ones blow up
+    # the p95 (p99 is pinned at the slow-request service time either way).
+    assert per_core["p95_ms"] > 2.0 * unified["p95_ms"]
+    assert per_core["mean_ms"] > unified["mean_ms"]

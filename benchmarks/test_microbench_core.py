@@ -1,0 +1,90 @@
+"""Microbenchmarks of the simulator's hot paths.
+
+Unlike the figure benches (single-shot experiments), these are true
+repeated-measurement microbenchmarks of the substrate: raw event throughput,
+server task churn, max-min recomputation, and routing.  They quantify the
+"light-weight" claim and catch performance regressions.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import LinkConfig, small_cloud_server
+from repro.core.engine import Engine
+from repro.core.rng import RandomSource
+from repro.experiments.common import build_farm, drive
+from repro.network.flow import Flow, max_min_rates
+from repro.network.routing import Router
+from repro.network.topology import fat_tree
+from repro.scheduling.policies import LeastLoadedPolicy
+from repro.workload.arrivals import PoissonProcess
+from repro.workload.profiles import ExponentialService, SingleTaskJobFactory
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule + execute 10K chained events."""
+
+    def run():
+        engine = Engine()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                engine.schedule(0.001, tick)
+
+        engine.schedule(0.0, tick)
+        engine.run()
+        return count[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_server_task_churn(benchmark):
+    """Push 5K short tasks through a 4-server farm (full stack)."""
+
+    def run():
+        farm = build_farm(4, small_cloud_server(), policy=LeastLoadedPolicy(), seed=1)
+        rng = RandomSource(1)
+        factory = SingleTaskJobFactory(ExponentialService(0.005), rng.stream("s"))
+        drive(farm, PoissonProcess(2000.0, rng.stream("a")), factory,
+              max_jobs=5_000, drain=True)
+        return farm.scheduler.jobs_completed
+
+    assert benchmark(run) == 5_000
+
+
+def test_max_min_waterfill(benchmark):
+    """Recompute fair shares for 64 flows on a k=4 fat-tree."""
+    engine = Engine()
+    topo = fat_tree(engine, 4, link_config=LinkConfig(rate_bps=1e9))
+    router = Router(topo)
+    rng = RandomSource(2).stream("pairs")
+    flows = []
+    for i in range(64):
+        src, dst = rng.choice(16, size=2, replace=False)
+        path = router.route(f"h{src}", f"h{dst}", flow_key=str(i))
+        flows.append(
+            Flow(path[0], path[-1], path, router.links_on_path(path), 1e9,
+                 lambda: None, 0.0)
+        )
+
+    rates = benchmark(max_min_rates, flows, lambda hop: hop[0].current_rate_bps)
+    assert len(rates) == 64
+
+
+def test_ecmp_routing_cached(benchmark):
+    """Route lookups after cache warm-up (the steady-state cost)."""
+    engine = Engine()
+    topo = fat_tree(engine, 8)
+    router = Router(topo)
+    pairs = [(f"h{i}", f"h{127 - i}") for i in range(64)]
+    for src, dst in pairs:
+        router.route(src, dst, flow_key="warm")
+
+    def run():
+        total = 0
+        for i, (src, dst) in enumerate(pairs):
+            total += len(router.route(src, dst, flow_key=str(i)))
+        return total
+
+    assert benchmark(run) > 0

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Heterogeneous processors + DVFS: the Table I hardware knobs in action.
+
+Builds a big.LITTLE-style server (4 fast cores at speed 1.0, 4 efficiency
+cores at speed 0.5) and compares it against a homogeneous server with the
+same aggregate throughput, then demonstrates the ondemand DVFS governor
+tracking a load square-wave.
+
+Run:  python examples/heterogeneous_dvfs.py
+"""
+
+from __future__ import annotations
+
+from repro import Engine, GlobalScheduler, LeastLoadedPolicy, RandomSource, Server, WorkloadDriver
+from repro.core.config import ProcessorConfig, ServerConfig
+from repro.power.dvfs import DvfsGovernor
+from repro.workload.arrivals import PoissonProcess
+from repro.workload.profiles import ExponentialService, SingleTaskJobFactory
+
+
+def big_little_config():
+    return ServerConfig(
+        name="big-little",
+        processor=ProcessorConfig(
+            n_cores=8,
+            core_speed_factors=(1.0, 1.0, 1.0, 1.0, 0.5, 0.5, 0.5, 0.5),
+        ),
+    )
+
+
+def homogeneous_config():
+    # Same aggregate speed: 8 cores at 0.75.
+    return ServerConfig(
+        name="homogeneous",
+        processor=ProcessorConfig(n_cores=8, core_speed_factors=(0.75,) * 8),
+    )
+
+
+def run_farm(config, rate, n_jobs=30_000, seed=3):
+    engine = Engine()
+    server = Server(engine, config)
+    scheduler = GlobalScheduler(engine, [server], policy=LeastLoadedPolicy())
+    rng = RandomSource(seed)
+    factory = SingleTaskJobFactory(ExponentialService(0.01), rng.stream("svc"))
+    WorkloadDriver(
+        engine, scheduler, PoissonProcess(rate, rng.stream("arr")), factory,
+        max_jobs=n_jobs,
+    ).start()
+    engine.run()
+    return scheduler.job_latency
+
+
+def main() -> None:
+    rate = 400.0  # ~2/3 of aggregate capacity
+    print("heterogeneous (4 fast + 4 efficiency cores) vs homogeneous (8 @ 0.75):")
+    print(f"{'server':>14} {'mean(ms)':>10} {'p95(ms)':>9} {'p99(ms)':>9}")
+    for config in (big_little_config(), homogeneous_config()):
+        latency = run_farm(config, rate)
+        print(
+            f"{config.name:>14} {latency.mean()*1e3:10.2f} "
+            f"{latency.percentile(95)*1e3:9.2f} {latency.percentile(99)*1e3:9.2f}"
+        )
+    print(
+        "\nThe heterogeneity-aware local scheduler prefers fast cores while\n"
+        "they are free, so the big.LITTLE design beats the homogeneous one\n"
+        "at equal aggregate throughput.\n"
+    )
+
+    # --- DVFS governor demo -------------------------------------------------
+    engine = Engine()
+    config = ServerConfig(
+        processor=ProcessorConfig(
+            n_cores=4, available_frequencies_ghz=(1.2, 1.6, 2.0, 2.4, 2.8)
+        )
+    )
+    server = Server(engine, config)
+    scheduler = GlobalScheduler(engine, [server], policy=LeastLoadedPolicy())
+    governor = DvfsGovernor(engine, [server], interval_s=0.02)
+    governor.start()
+
+    rng = RandomSource(9)
+    factory = SingleTaskJobFactory(ExponentialService(0.01), rng.stream("svc"))
+    # Square-wave load: 1 s hot (near saturation), 1 s cold.
+    hot = PoissonProcess(360.0, rng.stream("hot"), start_time=0.0)
+    WorkloadDriver(engine, scheduler, hot, factory, until=1.0).start()
+    cold = PoissonProcess(20.0, rng.stream("cold"), start_time=1.0)
+    WorkloadDriver(engine, scheduler, cold, factory, until=2.0).start()
+
+    freqs = []
+    def sample():
+        freqs.append((engine.now, server.processors[0].frequency_ghz))
+        if engine.now < 2.0:
+            engine.schedule(0.1, sample)
+    engine.schedule(0.05, sample)
+    engine.run()
+
+    print("DVFS governor tracking a hot/cold square wave (4-core server):")
+    for t, f in freqs:
+        bar = "#" * int((f - 1.0) * 10)
+        print(f"  t={t:4.2f}s  {f:.1f} GHz  {bar}")
+    print(f"\ngovernor steps: {governor.steps_up} up, {governor.steps_down} down")
+
+
+if __name__ == "__main__":
+    main()

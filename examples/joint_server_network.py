@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Joint server-network energy optimization on a fat-tree (§IV-D).
+
+Builds the Fig. 10 fat-tree data center, runs DAG jobs with 100 MB
+inter-task flows under both the Server-Balanced and Server-Network-Aware
+strategies, and prints the Fig. 11 comparison: average server/network power
+and the job response-time CDF.
+
+Run:  python examples/joint_server_network.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.joint_energy import run_joint_comparison
+
+
+def main() -> None:
+    print("running both strategies on a k=4 fat-tree (16 servers, 20 switches)...")
+    comparison = run_joint_comparison(utilizations=(0.3,), n_jobs=800, seed=11)
+    print()
+    print(comparison.render())
+    print()
+    server_saving = comparison.saving(0.3, "server")
+    network_saving = comparison.saving(0.3, "network")
+    print(
+        f"Server-Network-Aware saves {server_saving:.0%} server power and "
+        f"{network_saving:.0%} network power vs Server-Balanced\n"
+        f"(paper reports ~20% and ~18% with negligible latency increase)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Trace-driven resource provisioning (the §IV-A case study).
+
+Replays a synthesized Wikipedia-like diurnal trace against a 20-server farm
+with threshold-based provisioning and prints the Fig. 4 pair of time series
+(active jobs, active servers) as an ASCII chart.
+
+Run:  python examples/provisioning_wikipedia.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.provisioning import run_provisioning
+
+
+def sparkline(values, width=72, height=10):
+    """Render a value series as a crude ASCII area chart."""
+    if not values:
+        return []
+    step = max(1, len(values) // width)
+    sampled = [values[i] for i in range(0, len(values), step)][:width]
+    top = max(sampled) or 1.0
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = top * (level - 0.5) / height
+        rows.append(
+            "".join("#" if v >= threshold else " " for v in sampled)
+        )
+    rows.append("-" * len(sampled))
+    return rows
+
+
+def main() -> None:
+    result = run_provisioning(
+        n_servers=20,
+        n_cores=4,
+        duration_s=180.0,
+        mean_rate=2400.0,
+        day_length_s=60.0,
+        min_load_per_server=0.5,
+        max_load_per_server=1.0,
+    )
+
+    print("active jobs in the system over time:")
+    for row in sparkline(result.active_jobs.values):
+        print("  " + row)
+    print()
+    print("active servers over time:")
+    for row in sparkline(result.active_servers.values):
+        print("  " + row)
+    print()
+    print(
+        f"jobs completed      : {result.jobs_completed:,}\n"
+        f"p95 latency         : {result.p95_latency_s * 1e3:.1f} ms\n"
+        f"active servers range: {result.min_active_servers:.0f}"
+        f"..{result.max_active_servers:.0f} of 20\n"
+        f"farm energy         : {result.energy_j / 1e3:,.0f} kJ"
+    )
+    print(
+        "\nThe active-server curve tracks the diurnal load — the operator "
+        "insight the paper's Fig. 4 demonstrates."
+    )
+
+
+if __name__ == "__main__":
+    main()

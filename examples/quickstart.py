@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Quickstart: simulate a small server farm under Poisson load.
+
+Builds a 4-server farm of 10-core Xeon-profile machines, drives it at 30%
+utilization with the web-search workload (5 ms mean service time), and
+reports job latency, energy, and power-state residency — the basic loop
+every HolDCSim study starts from.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Engine,
+    GlobalScheduler,
+    LeastLoadedPolicy,
+    PoissonProcess,
+    RandomSource,
+    Server,
+    WorkloadDriver,
+    arrival_rate_for_utilization,
+    web_search_profile,
+    xeon_e5_2680_server,
+)
+
+N_SERVERS = 4
+UTILIZATION = 0.3
+N_JOBS = 20_000
+
+
+def main() -> None:
+    engine = Engine()
+    rng = RandomSource(seed=42)
+
+    # 1. Servers: 10-core Xeon E5-2680 profile, unified local task queue.
+    config = xeon_e5_2680_server()
+    servers = [Server(engine, config, server_id=i) for i in range(N_SERVERS)]
+
+    # 2. Global scheduler: load-balanced dispatch.
+    scheduler = GlobalScheduler(engine, servers, policy=LeastLoadedPolicy())
+
+    # 3. Workload: Poisson arrivals at the rate that yields 30% utilization
+    #    (the paper's formula: rho = lambda / (mu * nServers * nCores)).
+    profile = web_search_profile()
+    rate = arrival_rate_for_utilization(
+        UTILIZATION, profile.mean_service_s, N_SERVERS, config.total_cores
+    )
+    driver = WorkloadDriver(
+        engine,
+        scheduler,
+        PoissonProcess(rate, rng.stream("arrivals")),
+        profile.job_factory(rng.stream("service")),
+        max_jobs=N_JOBS,
+    )
+    driver.start()
+
+    # 4. Run to completion.
+    engine.run()
+
+    # 5. Report.
+    latency = scheduler.job_latency
+    print(f"simulated {scheduler.jobs_completed} jobs over {engine.now:.2f} s")
+    print(f"arrival rate        : {rate:,.0f} jobs/s")
+    print(f"mean latency        : {latency.mean() * 1e3:.2f} ms")
+    print(f"95th pct latency    : {latency.percentile(95) * 1e3:.2f} ms")
+    print(f"99th pct latency    : {latency.percentile(99) * 1e3:.2f} ms")
+    print()
+    print(f"{'server':>8} {'energy (kJ)':>12} {'cpu':>8} {'dram':>8} {'platform':>9}  residency")
+    for server in servers:
+        breakdown = server.energy_breakdown_j()
+        residency = server.residency_fractions()
+        residency_str = " ".join(
+            f"{cat}={frac:.0%}" for cat, frac in residency.items() if frac > 0.005
+        )
+        print(
+            f"{server.name:>8} {sum(breakdown.values())/1e3:12.2f} "
+            f"{breakdown['cpu']/1e3:8.2f} {breakdown['dram']/1e3:8.2f} "
+            f"{breakdown['platform']/1e3:9.2f}  {residency_str}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Shim for legacy editable installs in offline environments without `wheel`.
+
+All real metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517``.
+"""
+from setuptools import setup
+
+setup()

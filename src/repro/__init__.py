@@ -1,0 +1,115 @@
+"""repro — a reproduction of HolDCSim (IISWC 2019).
+
+HolDCSim is a light-weight, holistic, extensible, event-driven data center
+simulation platform that jointly models server and network architectures.
+This package implements the simulator from scratch in Python:
+
+* :mod:`repro.core` — the discrete-event engine, configuration profiles and
+  statistics substrate;
+* :mod:`repro.jobs` — DAG-structured jobs and tasks;
+* :mod:`repro.workload` — Poisson / MMPP / trace-based arrival models;
+* :mod:`repro.server` — multi-core servers with hierarchical ACPI power
+  states (core/package C-states, system sleep states, DVFS);
+* :mod:`repro.network` — switches (line cards, ports, LPI), topologies
+  (fat-tree, flattened butterfly, BCube, CamCube, star), packet- and
+  flow-level communication;
+* :mod:`repro.scheduling` — global dispatch policies and the global task
+  queue;
+* :mod:`repro.power` — power-management policies from the paper's case
+  studies (delay timers, adaptive pools, provisioning, joint
+  server-network optimization);
+* :mod:`repro.validation` — reference models and comparison harness for the
+  server/switch power validations;
+* :mod:`repro.experiments` — runnable reproductions of every figure.
+"""
+
+from repro.core import Engine, RandomSource
+from repro.core.config import (
+    LinkConfig,
+    ProcessorConfig,
+    ServerConfig,
+    SwitchConfig,
+    cisco_2960_switch,
+    datacenter_switch,
+    small_cloud_server,
+    validation_cpu_profile,
+    xeon_e5_2680_server,
+)
+from repro.jobs import Job, Task
+from repro.server import Server
+from repro.scheduling import GlobalScheduler, LeastLoadedPolicy, PackingPolicy, RoundRobinPolicy
+from repro.workload import (
+    MMPP2Process,
+    PoissonProcess,
+    WorkloadDriver,
+    arrival_rate_for_utilization,
+    web_search_profile,
+    web_serving_profile,
+)
+from repro.power import (
+    AdaptivePoolManager,
+    AlwaysOnController,
+    DelayTimerController,
+    DualDelayTimerPolicy,
+    DvfsGovernor,
+    ProvisioningManager,
+)
+from repro.power.joint import JointEnergyManager
+from repro.network import (
+    FlowNetwork,
+    PacketNetwork,
+    Router,
+    Switch,
+    Topology,
+    bcube,
+    camcube,
+    fat_tree,
+    flattened_butterfly,
+    star,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptivePoolManager",
+    "AlwaysOnController",
+    "DelayTimerController",
+    "DualDelayTimerPolicy",
+    "DvfsGovernor",
+    "Engine",
+    "FlowNetwork",
+    "JointEnergyManager",
+    "PacketNetwork",
+    "Router",
+    "Switch",
+    "Topology",
+    "bcube",
+    "camcube",
+    "fat_tree",
+    "flattened_butterfly",
+    "star",
+    "GlobalScheduler",
+    "Job",
+    "LeastLoadedPolicy",
+    "LinkConfig",
+    "MMPP2Process",
+    "PackingPolicy",
+    "PoissonProcess",
+    "ProcessorConfig",
+    "ProvisioningManager",
+    "RandomSource",
+    "RoundRobinPolicy",
+    "Server",
+    "ServerConfig",
+    "SwitchConfig",
+    "Task",
+    "WorkloadDriver",
+    "arrival_rate_for_utilization",
+    "cisco_2960_switch",
+    "datacenter_switch",
+    "small_cloud_server",
+    "validation_cpu_profile",
+    "web_search_profile",
+    "web_serving_profile",
+    "xeon_e5_2680_server",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro`` — entry point delegating to :mod:`repro.cli`."""
+
+from repro.cli import main
+
+main()

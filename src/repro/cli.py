@@ -1,0 +1,240 @@
+"""Command-line interface: run case studies from the shell.
+
+The paper describes HolDCSim as driven by "a configurable user script";
+this module is that surface.  Each subcommand runs one experiment with
+paper-default (but overridable) parameters and prints the same rows/series
+the paper's figure reports::
+
+    python -m repro provisioning --servers 20 --duration 120
+    python -m repro delay-timer --workload web-search --taus 0 0.01 0.1 1 5
+    python -m repro residency --utilizations 0.1 0.3 0.6
+    python -m repro joint --jobs 500
+    python -m repro validate-server
+    python -m repro validate-switch --duration 1800
+    python -m repro scalability --servers 20480
+
+Use ``--help`` on any subcommand for its knobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.experiments import (
+    adaptive,
+    delay_timer,
+    joint_energy,
+    provisioning,
+    scalability,
+    validation_server,
+    validation_switch,
+)
+from repro.workload.profiles import (
+    WorkloadProfile,
+    web_search_profile,
+    web_serving_profile,
+)
+from repro.core.rng import RandomSource
+from repro.workload.trace import (
+    ArrivalTrace,
+    synthesize_nlanr_trace,
+    synthesize_wikipedia_trace,
+)
+
+WORKLOADS = {
+    "web-search": web_search_profile,
+    "web-serving": web_serving_profile,
+}
+
+
+def _workload(name: str) -> WorkloadProfile:
+    try:
+        return WORKLOADS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from None
+
+
+def _cmd_provisioning(args: argparse.Namespace) -> None:
+    trace = None
+    if args.trace is not None:
+        trace = ArrivalTrace.from_file(args.trace).clipped(args.duration)
+    result = provisioning.run_provisioning(
+        n_servers=args.servers,
+        duration_s=args.duration,
+        mean_rate=args.rate,
+        day_length_s=args.day_length,
+        min_load_per_server=args.min_load,
+        max_load_per_server=args.max_load,
+        seed=args.seed,
+        trace=trace,
+    )
+    print(result.render())
+
+
+def _cmd_make_trace(args: argparse.Namespace) -> None:
+    rng = RandomSource(args.seed).stream("trace")
+    if args.style == "wikipedia":
+        trace = synthesize_wikipedia_trace(
+            rng, duration_s=args.duration, mean_rate=args.rate,
+            day_length_s=args.day_length,
+        )
+    else:
+        trace = synthesize_nlanr_trace(
+            rng, duration_s=args.duration, mean_rate=args.rate
+        )
+    trace.to_file(args.out)
+    print(
+        f"wrote {len(trace)} arrivals ({trace.mean_rate():.1f}/s over "
+        f"{trace.duration_s:.0f}s) to {args.out}"
+    )
+
+
+def _cmd_delay_timer(args: argparse.Namespace) -> None:
+    sweep = delay_timer.run_delay_timer_sweep(
+        _workload(args.workload),
+        tau_values=args.taus,
+        utilizations=args.utilizations,
+        n_servers=args.servers,
+        n_cores=args.cores,
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+    print(sweep.render())
+
+
+def _cmd_residency(args: argparse.Namespace) -> None:
+    result = adaptive.run_state_residency(
+        _workload(args.workload),
+        utilizations=args.utilizations,
+        n_servers=args.servers,
+        n_cores=args.cores,
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+    print(result.render())
+
+
+def _cmd_joint(args: argparse.Namespace) -> None:
+    comparison = joint_energy.run_joint_comparison(
+        utilizations=args.utilizations,
+        k=args.fat_tree_k,
+        n_jobs=args.jobs,
+        seed=args.seed,
+    )
+    print(comparison.render())
+
+
+def _cmd_validate_server(args: argparse.Namespace) -> None:
+    result = validation_server.run_server_validation(
+        duration_s=args.duration, mean_rate=args.rate, seed=args.seed
+    )
+    print(result.render())
+
+
+def _cmd_validate_switch(args: argparse.Namespace) -> None:
+    result = validation_switch.run_switch_validation(
+        duration_s=args.duration,
+        day_length_s=args.duration / 2.0,
+        mean_rate=args.rate,
+        seed=args.seed,
+    )
+    print(result.render())
+
+
+def _cmd_scalability(args: argparse.Namespace) -> None:
+    result = scalability.run_scalability(
+        n_servers=args.servers, n_jobs=args.jobs, seed=args.seed
+    )
+    print(result.render())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HolDCSim reproduction: run the paper's case studies.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=1, help="root RNG seed")
+
+    p = sub.add_parser("provisioning", help="Fig. 4: threshold provisioning")
+    p.add_argument("--servers", type=int, default=50)
+    p.add_argument("--duration", type=float, default=120.0)
+    p.add_argument("--rate", type=float, default=2000.0, help="mean jobs/s")
+    p.add_argument("--day-length", type=float, default=60.0)
+    p.add_argument("--min-load", type=float, default=0.5)
+    p.add_argument("--max-load", type=float, default=1.0)
+    p.add_argument("--trace", default=None,
+                   help="replay an arrival trace file instead of synthesizing")
+    common(p)
+    p.set_defaults(fn=_cmd_provisioning)
+
+    p = sub.add_parser("make-trace", help="synthesize an arrival trace file")
+    p.add_argument("--style", choices=("wikipedia", "nlanr"), default="wikipedia")
+    p.add_argument("--duration", type=float, default=3600.0)
+    p.add_argument("--rate", type=float, default=100.0)
+    p.add_argument("--day-length", type=float, default=3600.0)
+    p.add_argument("--out", required=True)
+    common(p)
+    p.set_defaults(fn=_cmd_make_trace)
+
+    p = sub.add_parser("delay-timer", help="Fig. 5: single delay timer sweep")
+    p.add_argument("--workload", default="web-search", choices=sorted(WORKLOADS))
+    p.add_argument("--taus", type=float, nargs="+",
+                   default=[0.0, 0.01, 0.05, 0.1, 0.4, 1.0, 5.0])
+    p.add_argument("--utilizations", type=float, nargs="+", default=[0.1, 0.3, 0.6])
+    p.add_argument("--servers", type=int, default=20)
+    p.add_argument("--cores", type=int, default=2)
+    p.add_argument("--duration", type=float, default=15.0)
+    common(p)
+    p.set_defaults(fn=_cmd_delay_timer)
+
+    p = sub.add_parser("residency", help="Fig. 8: adaptive state residency")
+    p.add_argument("--workload", default="web-search", choices=sorted(WORKLOADS))
+    p.add_argument("--utilizations", type=float, nargs="+",
+                   default=[0.1, 0.3, 0.5, 0.7, 0.9])
+    p.add_argument("--servers", type=int, default=10)
+    p.add_argument("--cores", type=int, default=10)
+    p.add_argument("--duration", type=float, default=60.0)
+    common(p)
+    p.set_defaults(fn=_cmd_residency)
+
+    p = sub.add_parser("joint", help="Fig. 11: joint server-network energy")
+    p.add_argument("--utilizations", type=float, nargs="+", default=[0.3, 0.6])
+    p.add_argument("--fat-tree-k", type=int, default=4)
+    p.add_argument("--jobs", type=int, default=2000)
+    common(p)
+    p.set_defaults(fn=_cmd_joint)
+
+    p = sub.add_parser("validate-server", help="Fig. 12: server power validation")
+    p.add_argument("--duration", type=float, default=1000.0)
+    p.add_argument("--rate", type=float, default=120.0)
+    common(p)
+    p.set_defaults(fn=_cmd_validate_server)
+
+    p = sub.add_parser("validate-switch", help="Figs. 13/14: switch power validation")
+    p.add_argument("--duration", type=float, default=7200.0)
+    p.add_argument("--rate", type=float, default=400.0)
+    common(p)
+    p.set_defaults(fn=_cmd_validate_switch)
+
+    p = sub.add_parser("scalability", help="Table I: >20K-server scalability")
+    p.add_argument("--servers", type=int, default=20_480)
+    p.add_argument("--jobs", type=int, default=200_000)
+    common(p)
+    p.set_defaults(fn=_cmd_scalability)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,32 @@
+"""Simulation kernel: event engine, configuration, statistics, randomness.
+
+This package provides the substrate everything else in :mod:`repro` is built
+on.  It deliberately contains no data center semantics: the engine is a
+general discrete-event simulator, the statistics helpers are generic
+residency/energy/latency accumulators, and the configuration module holds the
+dataclasses shared by the server, network and workload subsystems.
+"""
+
+from repro.core.engine import Engine, EventHandle, SimulationError
+from repro.core.rng import RandomSource
+from repro.core.stats import (
+    CdfResult,
+    EnergyAccount,
+    LatencyCollector,
+    StateTracker,
+    TimeSeries,
+    TimeSeriesSampler,
+)
+
+__all__ = [
+    "Engine",
+    "EventHandle",
+    "SimulationError",
+    "RandomSource",
+    "CdfResult",
+    "EnergyAccount",
+    "LatencyCollector",
+    "StateTracker",
+    "TimeSeries",
+    "TimeSeriesSampler",
+]

@@ -1,0 +1,271 @@
+"""Runtime statistics: state residencies, energy accounting, latency, traces.
+
+HolDCSim tracks several kinds of runtime statistics (paper §III, Fig. 1):
+power and energy consumption, network delays, job latency, and power state
+transitions.  The helpers in this module are the building blocks:
+
+* :class:`StateTracker` — accumulates time spent per named state for a
+  component (a core, a package, a server, a switch port ...) and counts
+  transitions.  Residencies always sum to the tracked wall-clock interval.
+* :class:`EnergyAccount` — integrates ``power × dt`` as a component's power
+  draw changes; one per power component (CPU / DRAM / platform / chassis ...).
+* :class:`LatencyCollector` — stores samples and answers mean / percentile /
+  CDF queries (job latency, network delay).
+* :class:`TimeSeriesSampler` — engine-driven periodic sampling of arbitrary
+  probes, used to produce power-over-time traces (Figs. 4, 12, 13).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.engine import Engine
+
+
+class StateTracker:
+    """Track residency time and transition counts across named states.
+
+    The tracker is event-driven: callers invoke :meth:`set_state` whenever the
+    component changes state, passing the current simulation time.  Querying
+    residencies with :meth:`residency` accounts for the in-progress state up
+    to the query time, so the invariant ``sum(residencies) == now - start``
+    always holds.
+    """
+
+    def __init__(self, initial_state: str, start_time: float = 0.0):
+        self._state = initial_state
+        self._since = start_time
+        self._start = start_time
+        self._residency: Dict[str, float] = {}
+        self._transitions: Dict[Tuple[str, str], int] = {}
+
+    @property
+    def state(self) -> str:
+        """The current state name."""
+        return self._state
+
+    def set_state(self, state: str, now: float) -> None:
+        """Move to ``state`` at time ``now``; same-state calls are no-ops."""
+        if now < self._since:
+            raise ValueError(f"time moved backwards: {now} < {self._since}")
+        if state == self._state:
+            return
+        self._residency[self._state] = self._residency.get(self._state, 0.0) + (now - self._since)
+        key = (self._state, state)
+        self._transitions[key] = self._transitions.get(key, 0) + 1
+        self._state = state
+        self._since = now
+
+    def residency(self, now: float) -> Dict[str, float]:
+        """Residency seconds per state, including the current open interval."""
+        out = dict(self._residency)
+        out[self._state] = out.get(self._state, 0.0) + (now - self._since)
+        return out
+
+    def residency_fractions(self, now: float) -> Dict[str, float]:
+        """Residencies normalised by total tracked time (empty if zero)."""
+        res = self.residency(now)
+        total = now - self._start
+        if total <= 0:
+            return {}
+        return {state: seconds / total for state, seconds in res.items()}
+
+    def transition_count(self, src: Optional[str] = None, dst: Optional[str] = None) -> int:
+        """Count transitions, optionally filtered by source and/or target."""
+        total = 0
+        for (from_state, to_state), count in self._transitions.items():
+            if src is not None and from_state != src:
+                continue
+            if dst is not None and to_state != dst:
+                continue
+            total += count
+        return total
+
+    @property
+    def transitions(self) -> Dict[Tuple[str, str], int]:
+        """The raw ``(src, dst) -> count`` transition map (read-only view)."""
+        return dict(self._transitions)
+
+
+class EnergyAccount:
+    """Integrate energy for one power component of one device.
+
+    Components report power changes with :meth:`set_power`; the account
+    accrues ``previous_power × elapsed`` at each change.  :meth:`energy_j`
+    closes the open interval up to the query time without disturbing state.
+    """
+
+    __slots__ = ("name", "_power_w", "_since", "_energy_j")
+
+    def __init__(self, name: str, initial_power_w: float = 0.0, start_time: float = 0.0):
+        self.name = name
+        self._power_w = float(initial_power_w)
+        self._since = start_time
+        self._energy_j = 0.0
+
+    @property
+    def power_w(self) -> float:
+        """Instantaneous power draw in watts."""
+        return self._power_w
+
+    def set_power(self, power_w: float, now: float) -> None:
+        """Record that the component draws ``power_w`` watts from ``now`` on."""
+        if now < self._since:
+            raise ValueError(f"time moved backwards: {now} < {self._since}")
+        self._energy_j += self._power_w * (now - self._since)
+        self._power_w = float(power_w)
+        self._since = now
+
+    def energy_j(self, now: float) -> float:
+        """Total energy in joules consumed up to ``now``."""
+        return self._energy_j + self._power_w * (now - self._since)
+
+
+@dataclass
+class CdfResult:
+    """An empirical CDF: ``values[i]`` has cumulative probability ``probs[i]``."""
+
+    values: List[float]
+    probs: List[float]
+
+    def quantile(self, p: float) -> float:
+        """Smallest value with cumulative probability >= p."""
+        if not self.values:
+            raise ValueError("empty CDF")
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability {p} outside [0, 1]")
+        idx = bisect.bisect_left(self.probs, p)
+        idx = min(idx, len(self.values) - 1)
+        return self.values[idx]
+
+
+class LatencyCollector:
+    """Collect latency (or any scalar) samples and answer distribution queries."""
+
+    def __init__(self, name: str = "latency"):
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+
+    def record(self, value: float) -> None:
+        """Add one sample."""
+        self._samples.append(float(value))
+        self._sorted = None
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> Sequence[float]:
+        """All recorded samples in arrival order."""
+        return tuple(self._samples)
+
+    def mean(self) -> float:
+        """Arithmetic mean; raises on empty collector."""
+        if not self._samples:
+            raise ValueError(f"no samples recorded in {self.name!r}")
+        return sum(self._samples) / len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """p-th percentile (0..100) using nearest-rank on sorted samples."""
+        if not self._samples:
+            raise ValueError(f"no samples recorded in {self.name!r}")
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p} outside [0, 100]")
+        data = self._sorted_samples()
+        if p == 0:
+            return data[0]
+        rank = max(1, math.ceil(p / 100.0 * len(data)))
+        return data[rank - 1]
+
+    def max(self) -> float:
+        """Largest sample; raises on empty collector."""
+        if not self._samples:
+            raise ValueError(f"no samples recorded in {self.name!r}")
+        return self._sorted_samples()[-1]
+
+    def cdf(self) -> CdfResult:
+        """The empirical CDF of all samples."""
+        data = self._sorted_samples()
+        if not data:
+            raise ValueError(f"no samples recorded in {self.name!r}")
+        n = len(data)
+        return CdfResult(values=list(data), probs=[(i + 1) / n for i in range(n)])
+
+    def _sorted_samples(self) -> List[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        return self._sorted
+
+
+@dataclass
+class TimeSeries:
+    """A sampled time series: parallel ``times`` and ``values`` lists."""
+
+    name: str
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def append(self, t: float, v: float) -> None:
+        self.times.append(t)
+        self.values.append(v)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def mean(self) -> float:
+        """Mean of the sampled values; raises on empty series."""
+        if not self.values:
+            raise ValueError(f"time series {self.name!r} is empty")
+        return sum(self.values) / len(self.values)
+
+
+class TimeSeriesSampler:
+    """Periodically sample probe callables via the event engine.
+
+    Register probes with :meth:`add_probe` and call :meth:`start`; the sampler
+    reschedules itself every ``interval`` seconds until :meth:`stop` or the
+    simulation ends.  This produces the power-over-time traces used in the
+    validation experiments and the provisioning case study.
+    """
+
+    def __init__(self, engine: Engine, interval: float):
+        if interval <= 0:
+            raise ValueError(f"sampling interval must be positive, got {interval}")
+        self.engine = engine
+        self.interval = interval
+        self._probes: List[Tuple[TimeSeries, Callable[[], float]]] = []
+        self._handle: Optional[Any] = None
+        self._running = False
+
+    def add_probe(self, name: str, probe: Callable[[], float]) -> TimeSeries:
+        """Register ``probe`` (no-arg callable) and return its series."""
+        series = TimeSeries(name)
+        self._probes.append((series, probe))
+        return series
+
+    def start(self, first_sample_at: Optional[float] = None) -> None:
+        """Begin sampling; the first sample fires at ``first_sample_at`` or now."""
+        if self._running:
+            return
+        self._running = True
+        when = self.engine.now if first_sample_at is None else first_sample_at
+        self._handle = self.engine.schedule_at(when, self._tick)
+
+    def stop(self) -> None:
+        """Stop sampling; any pending tick is cancelled."""
+        self._running = False
+        if self._handle is not None and self._handle.pending:
+            self._handle.cancel()
+        self._handle = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        now = self.engine.now
+        for series, probe in self._probes:
+            series.append(now, float(probe()))
+        self._handle = self.engine.schedule(self.interval, self._tick)

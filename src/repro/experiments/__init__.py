@@ -1,0 +1,41 @@
+"""Runnable reproductions of every evaluation result in the paper.
+
+One module per experiment; each exposes a ``run_*`` function returning a
+structured result object with a ``render()`` method that prints the same
+rows/series the paper reports.  The benchmark suite under ``benchmarks/``
+calls these with paper-scale parameters; the unit tests call them with
+scaled-down parameters.
+
+| Module              | Paper result                                   |
+|---------------------|------------------------------------------------|
+| ``scalability``     | Table I (scalability row, >20K servers)        |
+| ``provisioning``    | Fig. 4 (active jobs/servers over time)         |
+| ``delay_timer``     | Fig. 5 (energy vs. single delay timer τ)       |
+| ``dual_timer``      | Fig. 6 (dual-timer energy reduction)           |
+| ``adaptive``        | Fig. 8 (state residency), Fig. 9 (energy/server)|
+| ``joint_energy``    | Fig. 10/11 (server+network power, latency CDF) |
+| ``validation_server`` | Fig. 12 (server power trace vs physical)     |
+| ``validation_switch`` | Fig. 13/14 (switch power trace vs physical)  |
+"""
+
+from repro.experiments import (
+    adaptive,
+    delay_timer,
+    dual_timer,
+    joint_energy,
+    provisioning,
+    scalability,
+    validation_server,
+    validation_switch,
+)
+
+__all__ = [
+    "adaptive",
+    "delay_timer",
+    "dual_timer",
+    "joint_energy",
+    "provisioning",
+    "scalability",
+    "validation_server",
+    "validation_switch",
+]

@@ -1,0 +1,109 @@
+"""Shared experiment plumbing: farm construction and run loops."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.config import ServerConfig
+from repro.core.engine import Engine
+from repro.core.rng import RandomSource
+from repro.scheduling.global_scheduler import GlobalScheduler
+from repro.scheduling.policies import DispatchPolicy
+from repro.server.server import Server
+from repro.workload.arrivals import ArrivalProcess
+from repro.workload.driver import WorkloadDriver
+
+
+@dataclass
+class Farm:
+    """A wired-up simulated server farm ready to run."""
+
+    engine: Engine
+    servers: List[Server]
+    scheduler: GlobalScheduler
+    rng: RandomSource
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        self.engine.run(until=until, max_events=max_events)
+
+    # -- farm-wide telemetry ------------------------------------------------
+    def total_energy_j(self, now: Optional[float] = None) -> float:
+        return sum(s.total_energy_j(now) for s in self.servers)
+
+    def total_power_w(self) -> float:
+        return sum(s.power_w for s in self.servers)
+
+    def energy_breakdown_j(self, now: Optional[float] = None) -> Dict[str, float]:
+        totals = {"cpu": 0.0, "dram": 0.0, "platform": 0.0}
+        for server in self.servers:
+            for component, joules in server.energy_breakdown_j(now).items():
+                totals[component] += joules
+        return totals
+
+    def mean_residency_fractions(self) -> Dict[str, float]:
+        """Residency fractions averaged over all servers (Fig. 8's bars)."""
+        sums: Dict[str, float] = {}
+        for server in self.servers:
+            for category, frac in server.residency_fractions().items():
+                sums[category] = sums.get(category, 0.0) + frac
+        return {cat: value / len(self.servers) for cat, value in sums.items()}
+
+
+def build_farm(
+    n_servers: int,
+    server_config: ServerConfig,
+    policy: Optional[DispatchPolicy] = None,
+    seed: int = 0,
+    network=None,
+    use_global_queue: bool = False,
+    eligible_provider: Optional[Callable[[], List[Server]]] = None,
+    engine: Optional[Engine] = None,
+    servers: Optional[Sequence[Server]] = None,
+) -> Farm:
+    """Construct an engine + servers + global scheduler with one call."""
+    if n_servers <= 0:
+        raise ValueError(f"need at least one server, got {n_servers}")
+    engine = engine or Engine()
+    if servers is None:
+        servers = [Server(engine, server_config, server_id=i) for i in range(n_servers)]
+    scheduler = GlobalScheduler(
+        engine,
+        servers,
+        policy=policy,
+        network=network,
+        use_global_queue=use_global_queue,
+        eligible_provider=eligible_provider,
+    )
+    return Farm(engine=engine, servers=list(servers), scheduler=scheduler, rng=RandomSource(seed))
+
+
+def drive(
+    farm: Farm,
+    arrival_process: ArrivalProcess,
+    job_factory,
+    duration_s: Optional[float] = None,
+    max_jobs: Optional[int] = None,
+    drain: bool = True,
+) -> WorkloadDriver:
+    """Attach a workload and run the simulation.
+
+    With ``drain`` the engine keeps running after the arrival horizon until
+    all in-flight jobs finish, so energy/latency accounting covers complete
+    jobs only.
+    """
+    driver = WorkloadDriver(
+        farm.engine,
+        farm.scheduler,
+        arrival_process,
+        job_factory,
+        max_jobs=max_jobs,
+        until=duration_s,
+    )
+    driver.start()
+    farm.engine.run(until=duration_s)
+    if drain:
+        while farm.scheduler.active_jobs > 0:
+            if not farm.engine.step():
+                break
+    return driver

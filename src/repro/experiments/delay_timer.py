@@ -1,0 +1,164 @@
+"""Single delay timer exploration — Fig. 5 (§IV-B).
+
+Sweeps the delay timer value τ for a packing-dispatched server farm under
+Poisson arrivals at several utilization levels and reports total farm energy
+per τ.  The paper's findings this experiment reproduces:
+
+* energy vs. τ is U-shaped: sleeping too aggressively wastes energy on wake
+  transitions; sleeping too conservatively burns idle power;
+* for a given workload the optimal τ is consistent across utilizations;
+* the optimal τ grows with the workload's service time (web search ≈ 0.4 s,
+  web serving ≈ 4.8 s in the paper's configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import ServerConfig, onoff_cloud_server
+from repro.core.rng import RandomSource
+from repro.experiments.common import build_farm, drive
+from repro.power.controller import AlwaysOnController, DelayTimerController
+from repro.scheduling.policies import PackingPolicy
+from repro.workload.arrivals import PoissonProcess, arrival_rate_for_utilization
+from repro.workload.profiles import WorkloadProfile
+
+
+@dataclass
+class DelayTimerPoint:
+    """One sweep point: a (workload, utilization, τ) cell of Fig. 5."""
+
+    workload: str
+    utilization: float
+    tau_s: Optional[float]  # None = Active-Idle (never sleep)
+    energy_j: float
+    jobs_completed: int
+    mean_latency_s: float
+    p90_latency_s: float
+    sleep_transitions: int
+
+
+def run_delay_timer_point(
+    tau_s: Optional[float],
+    utilization: float,
+    profile: WorkloadProfile,
+    n_servers: int = 50,
+    n_cores: int = 4,
+    duration_s: float = 30.0,
+    seed: int = 1,
+    server_config: Optional[ServerConfig] = None,
+) -> DelayTimerPoint:
+    """Simulate one τ setting and return farm energy and latency stats."""
+    config = server_config or onoff_cloud_server(n_cores=n_cores)
+    farm = build_farm(n_servers, config, policy=PackingPolicy(), seed=seed)
+    if tau_s is None:
+        controller = AlwaysOnController()
+    else:
+        controller = DelayTimerController(farm.engine, tau_s)
+    for server in farm.servers:
+        server.attach_controller(controller)
+
+    rng = RandomSource(seed)
+    rate = arrival_rate_for_utilization(
+        utilization, profile.mean_service_s, n_servers, n_cores
+    )
+    arrivals = PoissonProcess(rate, rng.stream("arrivals"))
+    factory = profile.job_factory(rng.stream("service"))
+    drive(farm, arrivals, factory, duration_s=duration_s, drain=False)
+
+    scheduler = farm.scheduler
+    sleeps = sum(
+        s.residency.transition_count(dst="SysSleep") for s in farm.servers
+    )
+    has_jobs = len(scheduler.job_latency) > 0
+    return DelayTimerPoint(
+        workload=profile.name,
+        utilization=utilization,
+        tau_s=tau_s,
+        energy_j=farm.total_energy_j(duration_s),
+        jobs_completed=scheduler.jobs_completed,
+        mean_latency_s=scheduler.job_latency.mean() if has_jobs else float("nan"),
+        p90_latency_s=scheduler.job_latency.percentile(90) if has_jobs else float("nan"),
+        sleep_transitions=sleeps,
+    )
+
+
+@dataclass
+class DelayTimerSweep:
+    """Fig. 5 for one workload: energy vs τ at each utilization."""
+
+    workload: str
+    tau_values: List[float]
+    utilizations: List[float]
+    points: List[DelayTimerPoint]
+
+    def energy_series(self, utilization: float) -> List[Tuple[Optional[float], float]]:
+        """(τ, energy) pairs for one utilization, in sweep order."""
+        return [
+            (p.tau_s, p.energy_j)
+            for p in self.points
+            if p.utilization == utilization
+        ]
+
+    def optimal_tau(self, utilization: float) -> float:
+        """The τ with minimal energy at the given utilization."""
+        candidates = [
+            p for p in self.points if p.utilization == utilization and p.tau_s is not None
+        ]
+        if not candidates:
+            raise ValueError(f"no sweep points at utilization {utilization}")
+        return min(candidates, key=lambda p: p.energy_j).tau_s
+
+    def render(self) -> str:
+        """Fig. 5 as text: one row per τ, one column per utilization."""
+        lines = [f"Fig. 5 — energy (J) vs delay timer, workload={self.workload}"]
+        header = "tau(s)".rjust(8) + "".join(
+            f"  rho={u:.1f}".rjust(14) for u in self.utilizations
+        )
+        lines.append(header)
+        for tau in self.tau_values:
+            row = f"{tau:8.3f}"
+            for u in self.utilizations:
+                match = [
+                    p for p in self.points if p.utilization == u and p.tau_s == tau
+                ]
+                row += f"  {match[0].energy_j:12.0f}" if match else "  " + "-".rjust(12)
+            lines.append(row)
+        for u in self.utilizations:
+            lines.append(f"optimal tau @ rho={u:.1f}: {self.optimal_tau(u):g}s")
+        return "\n".join(lines)
+
+
+def run_delay_timer_sweep(
+    profile: WorkloadProfile,
+    tau_values: Sequence[float],
+    utilizations: Sequence[float] = (0.1, 0.3, 0.6),
+    n_servers: int = 50,
+    n_cores: int = 4,
+    duration_s: float = 30.0,
+    seed: int = 1,
+    server_config: Optional[ServerConfig] = None,
+) -> DelayTimerSweep:
+    """The full Fig. 5 sweep for one workload."""
+    points = []
+    for utilization in utilizations:
+        for tau in tau_values:
+            points.append(
+                run_delay_timer_point(
+                    tau,
+                    utilization,
+                    profile,
+                    n_servers=n_servers,
+                    n_cores=n_cores,
+                    duration_s=duration_s,
+                    seed=seed,
+                    server_config=server_config,
+                )
+            )
+    return DelayTimerSweep(
+        workload=profile.name,
+        tau_values=list(tau_values),
+        utilizations=list(utilizations),
+        points=points,
+    )

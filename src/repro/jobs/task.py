@@ -1,0 +1,281 @@
+"""Tasks, jobs and their DAG bookkeeping.
+
+Formal model from the paper (§III-C): job ``j`` is a DAG ``G_j(V_j, E_j)``.
+Each task ``v`` has a workload requirement ``w_v`` (execution time on a
+nominal-speed core); each edge ``l`` has a data-transfer size ``D_l`` (bytes)
+to move the producer's result to the consumer's server.
+
+A job finishes when all of its tasks finish.  Job latency is measured from
+the job's arrival at the data center front end to the completion of its last
+task — it therefore includes queuing, wake-up, computation and network
+transfer delays, which is exactly the end-to-end latency the case studies
+report.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task inside the simulator."""
+
+    BLOCKED = "blocked"      # waiting on parent tasks / transfers
+    READY = "ready"          # dependencies met, not yet dispatched
+    QUEUED = "queued"        # sitting in a global/local/core queue
+    RUNNING = "running"      # occupying a core
+    FINISHED = "finished"
+
+
+class Task:
+    """One unit of execution, served by a single core at a time.
+
+    ``service_time_s`` is the execution-time requirement on a core running at
+    nominal frequency with speed factor 1.0; the core scales it by frequency
+    and heterogeneity at dispatch.  ``compute_intensity`` in [0, 1] controls
+    how much of the task scales with frequency (1.0 = fully compute bound,
+    0.0 = fully memory/IO bound and insensitive to DVFS), modeling the paper's
+    "various types of workloads with different levels of computation
+    intensiveness" (§III-A).
+    """
+
+    __slots__ = (
+        "job",
+        "index",
+        "name",
+        "service_time_s",
+        "compute_intensity",
+        "task_type",
+        "state",
+        "server_id",
+        "ready_time",
+        "start_time",
+        "finish_time",
+        "_remaining_parents",
+        "_remaining_transfers",
+    )
+
+    def __init__(
+        self,
+        job: "Job",
+        index: int,
+        service_time_s: float,
+        name: Optional[str] = None,
+        compute_intensity: float = 1.0,
+        task_type: str = "generic",
+    ):
+        if service_time_s <= 0:
+            raise ValueError(f"task service time must be positive, got {service_time_s}")
+        if not 0.0 <= compute_intensity <= 1.0:
+            raise ValueError(f"compute_intensity {compute_intensity} outside [0, 1]")
+        self.job = job
+        self.index = index
+        self.name = name or f"task-{index}"
+        self.service_time_s = float(service_time_s)
+        self.compute_intensity = float(compute_intensity)
+        self.task_type = task_type
+        self.state = TaskState.BLOCKED
+        self.server_id: Optional[int] = None
+        self.ready_time: Optional[float] = None
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        self._remaining_parents = 0
+        self._remaining_transfers = 0
+
+    # -- dependency bookkeeping (driven by the global scheduler) ---------
+    @property
+    def remaining_parents(self) -> int:
+        """Parents that have not yet finished execution."""
+        return self._remaining_parents
+
+    @property
+    def remaining_transfers(self) -> int:
+        """Finished parents whose result transfer has not yet completed."""
+        return self._remaining_transfers
+
+    def parent_finished(self) -> None:
+        """A parent task completed; its transfer (if any) may still be in flight."""
+        if self._remaining_parents <= 0:
+            raise RuntimeError(f"{self} had no pending parents")
+        self._remaining_parents -= 1
+
+    def transfer_started(self) -> None:
+        """A parent's result transfer has been launched on the network."""
+        self._remaining_transfers += 1
+
+    def transfer_finished(self) -> None:
+        """A parent's result transfer arrived at this task's server."""
+        if self._remaining_transfers <= 0:
+            raise RuntimeError(f"{self} had no pending transfers")
+        self._remaining_transfers -= 1
+
+    @property
+    def dependencies_met(self) -> bool:
+        """True when all parents finished and all result transfers arrived."""
+        return self._remaining_parents == 0 and self._remaining_transfers == 0
+
+    @property
+    def is_root(self) -> bool:
+        """True for tasks with no parents (ready the moment the job arrives)."""
+        return not self.job.parents_of(self.index)
+
+    def __repr__(self) -> str:
+        return f"<Task {self.job.job_id}:{self.index} {self.state.value}>"
+
+
+class Job:
+    """A DAG of tasks representing one user service request.
+
+    Edges are ``(src_index, dst_index, transfer_bytes)``.  Construction
+    validates indices and acyclicity; runtime dependency counters are
+    initialised so the scheduler can drive the DAG without re-deriving graph
+    structure on every event.
+    """
+
+    _id_counter = itertools.count()
+
+    def __init__(
+        self,
+        arrival_time: float = 0.0,
+        job_id: Optional[int] = None,
+        job_type: str = "generic",
+    ):
+        self.job_id = next(Job._id_counter) if job_id is None else job_id
+        self.arrival_time = float(arrival_time)
+        self.job_type = job_type
+        self.tasks: List[Task] = []
+        self._edges: List[Tuple[int, int, float]] = []
+        self._children: Dict[int, List[Tuple[int, float]]] = {}
+        self._parents: Dict[int, List[Tuple[int, float]]] = {}
+        self._finished_tasks = 0
+        self.finish_time: Optional[float] = None
+
+    # -- construction -----------------------------------------------------
+    def add_task(
+        self,
+        service_time_s: float,
+        name: Optional[str] = None,
+        compute_intensity: float = 1.0,
+        task_type: str = "generic",
+    ) -> Task:
+        """Append a task and return it; tasks are indexed in creation order."""
+        task = Task(
+            self,
+            len(self.tasks),
+            service_time_s,
+            name=name,
+            compute_intensity=compute_intensity,
+            task_type=task_type,
+        )
+        self.tasks.append(task)
+        return task
+
+    def add_edge(self, src: int, dst: int, transfer_bytes: float = 0.0) -> None:
+        """Add dependency ``src -> dst`` with a result-transfer size in bytes."""
+        n = len(self.tasks)
+        if not (0 <= src < n and 0 <= dst < n):
+            raise ValueError(f"edge ({src}, {dst}) references missing tasks (n={n})")
+        if src == dst:
+            raise ValueError(f"self-dependency on task {src}")
+        if transfer_bytes < 0:
+            raise ValueError(f"negative transfer size {transfer_bytes}")
+        self._edges.append((src, dst, float(transfer_bytes)))
+        self._children.setdefault(src, []).append((dst, float(transfer_bytes)))
+        self._parents.setdefault(dst, []).append((src, float(transfer_bytes)))
+        self.tasks[dst]._remaining_parents += 1
+        if self._has_cycle():
+            # Roll back so the job object stays usable after the error.
+            self._edges.pop()
+            self._children[src].pop()
+            self._parents[dst].pop()
+            self.tasks[dst]._remaining_parents -= 1
+            raise ValueError(f"edge ({src}, {dst}) would create a cycle")
+
+    # -- structure queries --------------------------------------------------
+    @property
+    def edges(self) -> Sequence[Tuple[int, int, float]]:
+        """All edges as ``(src, dst, transfer_bytes)`` tuples."""
+        return tuple(self._edges)
+
+    def children_of(self, index: int) -> Sequence[Tuple[int, float]]:
+        """Outgoing edges of a task: ``(child_index, transfer_bytes)``."""
+        return tuple(self._children.get(index, ()))
+
+    def parents_of(self, index: int) -> Sequence[Tuple[int, float]]:
+        """Incoming edges of a task: ``(parent_index, transfer_bytes)``."""
+        return tuple(self._parents.get(index, ()))
+
+    def root_tasks(self) -> List[Task]:
+        """Tasks with no dependencies; these become READY on job arrival."""
+        return [t for t in self.tasks if not self._parents.get(t.index)]
+
+    def topological_order(self) -> List[int]:
+        """Task indices in a valid topological order (Kahn's algorithm)."""
+        indegree = {i: len(self._parents.get(i, ())) for i in range(len(self.tasks))}
+        frontier = [i for i, d in indegree.items() if d == 0]
+        order: List[int] = []
+        while frontier:
+            node = frontier.pop()
+            order.append(node)
+            for child, _ in self._children.get(node, ()):
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    frontier.append(child)
+        if len(order) != len(self.tasks):
+            raise RuntimeError("job DAG contains a cycle")  # pragma: no cover
+        return order
+
+    def critical_path_s(self) -> float:
+        """Length (in nominal service time) of the DAG's critical path.
+
+        This is the lower bound on job latency on infinitely many
+        nominal-speed cores with free communication; useful as a sanity
+        baseline in tests and for slack-based policies.
+        """
+        longest: Dict[int, float] = {}
+        for index in self.topological_order():
+            base = self.tasks[index].service_time_s
+            parents = self._parents.get(index, ())
+            longest[index] = base + max((longest[p] for p, _ in parents), default=0.0)
+        return max(longest.values()) if longest else 0.0
+
+    def total_work_s(self) -> float:
+        """Sum of all task service times (the job's total core demand)."""
+        return sum(t.service_time_s for t in self.tasks)
+
+    # -- runtime ------------------------------------------------------------
+    def task_finished(self, task: Task, now: float) -> bool:
+        """Record a task completion; returns True when the whole job is done."""
+        if task.job is not self:
+            raise ValueError("task belongs to a different job")
+        self._finished_tasks += 1
+        if self._finished_tasks == len(self.tasks):
+            self.finish_time = now
+            return True
+        return False
+
+    @property
+    def finished(self) -> bool:
+        """True once every task has completed."""
+        return self._finished_tasks == len(self.tasks) and bool(self.tasks)
+
+    def latency(self) -> float:
+        """End-to-end job latency (finish - arrival); raises if unfinished."""
+        if self.finish_time is None:
+            raise RuntimeError(f"job {self.job_id} has not finished")
+        return self.finish_time - self.arrival_time
+
+    def _has_cycle(self) -> bool:
+        try:
+            self.topological_order()
+            return False
+        except RuntimeError:
+            return True
+
+    def __repr__(self) -> str:
+        return (
+            f"<Job {self.job_id} type={self.job_type} tasks={len(self.tasks)} "
+            f"edges={len(self._edges)}>"
+        )

@@ -1,0 +1,126 @@
+"""Job DAG templates for common data center request structures.
+
+The paper motivates DAG-structured jobs with multi-tiered applications
+(§III-C): e.g. "a web request can be modeled as two sequential tasks, one
+that is serviced by the application server and another corresponding to
+queries sent to database servers."  These factories build the structures the
+case studies and examples use:
+
+* :func:`single_task_job` — the simple task used by §IV-A/B;
+* :func:`two_tier_job` — app tier then database tier;
+* :func:`fan_out_job` — scatter/gather (a search query fanned to leaves and
+  aggregated, after [11]);
+* :func:`pipeline_job` — a linear chain of dependent stages;
+* :func:`random_dag_job` — randomized layered DAGs for stress/property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.jobs.task import Job
+
+
+def single_task_job(
+    service_time_s: float,
+    arrival_time: float = 0.0,
+    job_type: str = "single",
+    compute_intensity: float = 1.0,
+) -> Job:
+    """A job consisting of exactly one task (no network communication)."""
+    job = Job(arrival_time=arrival_time, job_type=job_type)
+    job.add_task(service_time_s, name="task", compute_intensity=compute_intensity)
+    return job
+
+
+def two_tier_job(
+    app_service_s: float,
+    db_service_s: float,
+    transfer_bytes: float = 8e3,
+    arrival_time: float = 0.0,
+    job_type: str = "two-tier",
+) -> Job:
+    """App-server task followed by a database task (spatial dependence)."""
+    job = Job(arrival_time=arrival_time, job_type=job_type)
+    job.add_task(app_service_s, name="app", task_type="app")
+    job.add_task(db_service_s, name="db", task_type="db")
+    job.add_edge(0, 1, transfer_bytes)
+    return job
+
+
+def fan_out_job(
+    root_service_s: float,
+    leaf_service_s: Sequence[float],
+    aggregate_service_s: float,
+    transfer_bytes: float = 64e3,
+    arrival_time: float = 0.0,
+    job_type: str = "fan-out",
+) -> Job:
+    """Scatter/gather: root fans to N leaves, then an aggregation task joins.
+
+    This is the web-search pattern: the front end scatters the query to leaf
+    index servers and a final task merges their results.
+    """
+    if not leaf_service_s:
+        raise ValueError("fan-out job needs at least one leaf task")
+    job = Job(arrival_time=arrival_time, job_type=job_type)
+    job.add_task(root_service_s, name="root", task_type="frontend")
+    for i, service in enumerate(leaf_service_s):
+        job.add_task(service, name=f"leaf-{i}", task_type="leaf")
+    agg = job.add_task(aggregate_service_s, name="aggregate", task_type="aggregate")
+    for i in range(len(leaf_service_s)):
+        job.add_edge(0, 1 + i, transfer_bytes)
+        job.add_edge(1 + i, agg.index, transfer_bytes)
+    return job
+
+
+def pipeline_job(
+    stage_service_s: Sequence[float],
+    transfer_bytes: float = 1e6,
+    arrival_time: float = 0.0,
+    job_type: str = "pipeline",
+) -> Job:
+    """A linear chain of tasks, each feeding its output to the next stage."""
+    if not stage_service_s:
+        raise ValueError("pipeline job needs at least one stage")
+    job = Job(arrival_time=arrival_time, job_type=job_type)
+    for i, service in enumerate(stage_service_s):
+        job.add_task(service, name=f"stage-{i}")
+    for i in range(len(stage_service_s) - 1):
+        job.add_edge(i, i + 1, transfer_bytes)
+    return job
+
+
+def random_dag_job(
+    rng: np.random.Generator,
+    n_tasks: int,
+    mean_service_s: float = 0.01,
+    edge_probability: float = 0.3,
+    transfer_bytes: float = 1e5,
+    arrival_time: float = 0.0,
+    job_type: str = "random-dag",
+    n_layers: Optional[int] = None,
+) -> Job:
+    """A random layered DAG: edges only go from earlier to later layers.
+
+    Layering guarantees acyclicity by construction, so these jobs exercise
+    arbitrary dependency shapes without tripping the cycle validator.
+    """
+    if n_tasks <= 0:
+        raise ValueError(f"n_tasks must be positive, got {n_tasks}")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError(f"edge_probability {edge_probability} outside [0, 1]")
+    job = Job(arrival_time=arrival_time, job_type=job_type)
+    services = rng.exponential(mean_service_s, size=n_tasks)
+    for i in range(n_tasks):
+        job.add_task(max(float(services[i]), 1e-9), name=f"t{i}")
+    if n_layers is None:
+        n_layers = max(1, int(np.sqrt(n_tasks)))
+    layers = [int(rng.integers(0, n_layers)) for _ in range(n_tasks)]
+    for src in range(n_tasks):
+        for dst in range(n_tasks):
+            if layers[src] < layers[dst] and rng.random() < edge_probability:
+                job.add_edge(src, dst, transfer_bytes)
+    return job

@@ -1,0 +1,320 @@
+"""Flow-based communication with max-min fair bandwidth sharing (§III-B).
+
+When dependent tasks communicate they can "send a single flow of data";
+multiple flows share links, each link has a rate capacity, and "multiple
+flows ... can simultaneously travel along a link if it has not yet been
+saturated".  This module implements the classic fluid-flow model:
+
+* every active flow gets the max-min fair share over its route;
+* whenever the flow set changes, progress is banked, rates are recomputed by
+  progressive water-filling, and completion events are rescheduled;
+* flows traversing sleeping switches first wake them (charging the wake
+  latency), which is how the joint server-network policy's costs arise;
+* optional dynamic link-rate adaptation steps idle/lightly-used links down.
+
+The water-filling invariants (per-link allocation never exceeds capacity;
+every flow is bottlenecked somewhere) are enforced by property-based tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.engine import Engine, EventHandle
+from repro.core.stats import LatencyCollector
+from repro.network.link import Link
+from repro.network.routing import Router
+from repro.network.topology import Topology
+
+DirectedLink = Tuple[Link, str, str]
+
+
+class Flow:
+    """One in-flight data transfer over a fixed route."""
+
+    _ids = itertools.count()
+
+    __slots__ = (
+        "flow_id",
+        "src",
+        "dst",
+        "path",
+        "hops",
+        "size_bits",
+        "remaining_bits",
+        "rate_bps",
+        "callback",
+        "created_at",
+        "started_at",
+        "last_update",
+        "completion",
+    )
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        path: List[str],
+        hops: List[DirectedLink],
+        size_bits: float,
+        callback: Callable[[], None],
+        created_at: float,
+    ):
+        self.flow_id = next(Flow._ids)
+        self.src = src
+        self.dst = dst
+        self.path = path
+        self.hops = hops
+        self.size_bits = size_bits
+        self.remaining_bits = size_bits
+        self.rate_bps = 0.0
+        self.callback = callback
+        self.created_at = created_at
+        self.started_at: Optional[float] = None
+        self.last_update = created_at
+        self.completion: Optional[EventHandle] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<Flow {self.flow_id} {self.src}->{self.dst} "
+            f"{self.remaining_bits/8e6:.2f}MB left @ {self.rate_bps/1e9:.3f}Gbps>"
+        )
+
+
+def max_min_rates(
+    flows: List[Flow], capacity_of: Callable[[DirectedLink], float]
+) -> Dict[int, float]:
+    """Progressive water-filling: max-min fair rates for a set of flows.
+
+    Args:
+        flows: active flows, each with its directed-link route.
+        capacity_of: capacity lookup per directed link.
+
+    Returns:
+        flow_id -> rate (bits/s).  Guarantees per-direction link usage never
+        exceeds capacity and every flow is capped by a saturated link.
+    """
+    # Key directed links by identity of the link plus the direction.
+    def key(hop: DirectedLink):
+        link, u, v = hop
+        return (id(link), u, v)
+
+    residual: Dict[Tuple, float] = {}
+    users: Dict[Tuple, List[Flow]] = {}
+    for flow in flows:
+        for hop in flow.hops:
+            k = key(hop)
+            if k not in residual:
+                residual[k] = capacity_of(hop)
+                users[k] = []
+            users[k].append(flow)
+
+    rates: Dict[int, float] = {}
+    unfixed = {flow.flow_id: flow for flow in flows}
+    while unfixed:
+        # Fair share currently offered by each link still carrying unfixed flows.
+        best_share = None
+        for k, flow_list in users.items():
+            active = [f for f in flow_list if f.flow_id in unfixed]
+            if not active:
+                continue
+            share = residual[k] / len(active)
+            if best_share is None or share < best_share:
+                best_share = share
+        if best_share is None:
+            # Remaining flows traverse only links with no constraint left —
+            # cannot happen since every flow has at least one hop.
+            break  # pragma: no cover
+        # Fix every unfixed flow crossing a link at the bottleneck share.
+        newly_fixed: List[Flow] = []
+        for k, flow_list in users.items():
+            active = [f for f in flow_list if f.flow_id in unfixed]
+            if not active:
+                continue
+            share = residual[k] / len(active)
+            if share <= best_share * (1 + 1e-12):
+                newly_fixed.extend(active)
+        for flow in newly_fixed:
+            if flow.flow_id not in unfixed:
+                continue
+            rates[flow.flow_id] = best_share
+            del unfixed[flow.flow_id]
+            for hop in flow.hops:
+                residual[key(hop)] = max(0.0, residual[key(hop)] - best_share)
+    return rates
+
+
+class FlowNetwork:
+    """The flow-level communication model over a topology."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        topology: Topology,
+        router: Optional[Router] = None,
+        auto_wake_switches: bool = True,
+        adapt_link_rates: bool = False,
+        local_transfer_delay_s: float = 0.0,
+    ):
+        self.engine = engine
+        self.topology = topology
+        self.router = router or Router(topology)
+        self.auto_wake_switches = auto_wake_switches
+        self.adapt_link_rates = adapt_link_rates
+        self.local_transfer_delay_s = local_transfer_delay_s
+        self.active_flows: Dict[int, Flow] = {}
+        self.flows_completed = 0
+        self.bits_delivered = 0.0
+        self.flow_completion_time = LatencyCollector("flow_completion_time")
+
+    # ------------------------------------------------------------------
+    # Public interface used by the global scheduler
+    # ------------------------------------------------------------------
+    def transfer(
+        self,
+        src_server_id: int,
+        dst_server_id: int,
+        size_bytes: float,
+        callback: Callable[[], None],
+    ) -> Optional[Flow]:
+        """Move ``size_bytes`` between servers; ``callback`` fires on arrival.
+
+        Same-server transfers complete after ``local_transfer_delay_s`` (data
+        never leaves the machine).  Returns the created flow, if any.
+        """
+        if size_bytes < 0:
+            raise ValueError(f"negative transfer size {size_bytes}")
+        if src_server_id == dst_server_id or size_bytes == 0:
+            self.engine.schedule(self.local_transfer_delay_s, callback)
+            return None
+        src = self.topology.server_node(src_server_id)
+        dst = self.topology.server_node(dst_server_id)
+        now = self.engine.now
+        flow = self._build_flow(src, dst, size_bytes * 8.0, callback, now)
+        sleeping = [
+            sw for sw in self.router.switches_on_path(flow.path) if not sw.is_on
+        ]
+        if sleeping:
+            if not self.auto_wake_switches:
+                raise RuntimeError(
+                    f"route {flow.path} crosses sleeping switches "
+                    f"{[s.name for s in sleeping]} and auto-wake is disabled"
+                )
+            barrier = _WakeBarrier(len(sleeping), lambda: self._start_flow(flow))
+            for sw in sleeping:
+                sw.request_wake(barrier.arrive)
+        else:
+            self._start_flow(flow)
+        return flow
+
+    def _build_flow(
+        self,
+        src: str,
+        dst: str,
+        size_bits: float,
+        callback: Callable[[], None],
+        now: float,
+    ) -> Flow:
+        path = self.router.route(src, dst, flow_key=f"{src}->{dst}#{Flow._ids}")
+        hops = self.router.links_on_path(path)
+        if not hops:
+            raise ValueError(f"degenerate route {path}")
+        return Flow(src, dst, path, hops, size_bits, callback, now)
+
+    # ------------------------------------------------------------------
+    # Flow lifecycle
+    # ------------------------------------------------------------------
+    def _start_flow(self, flow: Flow) -> None:
+        now = self.engine.now
+        flow.started_at = now
+        flow.last_update = now
+        for link, u, v in flow.hops:
+            link.begin_activity(u, v)
+        self.active_flows[flow.flow_id] = flow
+        self._recompute()
+
+    def _complete_flow(self, flow: Flow) -> None:
+        flow.completion = None
+        now = self.engine.now
+        flow.remaining_bits = 0.0
+        self.active_flows.pop(flow.flow_id, None)
+        for link, u, v in flow.hops:
+            link.end_activity(u, v)
+        self.flows_completed += 1
+        self.bits_delivered += flow.size_bits
+        self.flow_completion_time.record(now - flow.created_at)
+        self._recompute()
+        flow.callback()
+
+    def _recompute(self) -> None:
+        """Bank progress, re-run water-filling, reschedule completions."""
+        now = self.engine.now
+        flows = list(self.active_flows.values())
+        for flow in flows:
+            elapsed = now - flow.last_update
+            if elapsed > 0 and flow.rate_bps > 0:
+                flow.remaining_bits = max(0.0, flow.remaining_bits - flow.rate_bps * elapsed)
+            flow.last_update = now
+        rates = max_min_rates(flows, lambda hop: hop[0].current_rate_bps)
+        for flow in flows:
+            flow.rate_bps = rates.get(flow.flow_id, 0.0)
+            if flow.completion is not None and flow.completion.pending:
+                flow.completion.cancel()
+            if flow.rate_bps <= 0:
+                flow.completion = None
+                continue
+            # Propagation is charged once: the route's total one-way delay.
+            prop = sum(link.propagation_delay_s for link, _, _ in flow.hops)
+            remaining_s = flow.remaining_bits / flow.rate_bps
+            flow.completion = self.engine.schedule(
+                remaining_s + prop if flow.remaining_bits == flow.size_bits else remaining_s,
+                self._complete_flow,
+                flow,
+            )
+        if self.adapt_link_rates:
+            self._adapt_rates(flows)
+
+    def _adapt_rates(self, flows: List[Flow]) -> None:
+        """Step adaptive links down to the demand actually allocated on them."""
+        demand: Dict[Tuple, float] = {}
+        links: Dict[Tuple, Link] = {}
+        for flow in flows:
+            for link, u, v in flow.hops:
+                k = (id(link), u, v)
+                demand[k] = demand.get(k, 0.0) + flow.rate_bps
+                links[k] = link
+        # Idle adaptive links drop to their minimum rate.
+        seen_links = {k[0] for k in links}
+        for link in self.topology.links.values():
+            if not link.config.adaptive_rates_bps:
+                continue
+            if id(link) in seen_links:
+                peak = max(
+                    demand.get((id(link), link.u, link.v), 0.0),
+                    demand.get((id(link), link.v, link.u), 0.0),
+                )
+            else:
+                peak = 0.0
+            link.adapt_rate(peak)
+
+    # ------------------------------------------------------------------
+    @property
+    def active_flow_count(self) -> int:
+        return len(self.active_flows)
+
+    def __repr__(self) -> str:
+        return f"<FlowNetwork flows={len(self.active_flows)} done={self.flows_completed}>"
+
+
+class _WakeBarrier:
+    """Fire a callback once N switch wakes have completed."""
+
+    def __init__(self, count: int, callback: Callable[[], None]):
+        self.remaining = count
+        self.callback = callback
+
+    def arrive(self) -> None:
+        self.remaining -= 1
+        if self.remaining == 0:
+            self.callback()

@@ -1,0 +1,216 @@
+"""Packet-based communication: store-and-forward with output-port queues.
+
+The finer-grained of the paper's two communication models (§III-B):
+messages are split into MTU-sized packets routed hop by hop.  Each directed
+link has an output queue at its sending node; a packet occupies the link for
+``size / rate`` seconds, then propagates to the next node.  Port/line-card
+power states are driven by actual transmissions, so idle ports drop to LPI
+between packets — the effect the §V-B switch validation measures.
+
+Queuing delay, per-switch forwarding and (optional, finite) packet buffers
+with tail-drop are modeled; drops are counted and surface as transfers that
+never complete (latency-critical studies should watch ``packets_dropped``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.core.engine import Engine
+from repro.core.stats import LatencyCollector
+from repro.network.link import Link
+from repro.network.routing import Router
+from repro.network.topology import Topology
+
+DEFAULT_MTU_BYTES = 1500
+
+
+class Packet:
+    """One packet traversing a fixed route."""
+
+    _ids = itertools.count()
+
+    __slots__ = ("packet_id", "size_bytes", "path", "hop_index", "sent_at", "on_delivered")
+
+    def __init__(
+        self,
+        size_bytes: float,
+        path: List[str],
+        sent_at: float,
+        on_delivered: Optional[Callable[["Packet"], None]] = None,
+    ):
+        if size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {size_bytes}")
+        self.packet_id = next(Packet._ids)
+        self.size_bytes = float(size_bytes)
+        self.path = path
+        self.hop_index = 0
+        self.sent_at = sent_at
+        self.on_delivered = on_delivered
+
+    def __repr__(self) -> str:
+        return f"<Packet {self.packet_id} {self.path[0]}->{self.path[-1]} hop={self.hop_index}>"
+
+
+class _OutputQueue:
+    """FIFO output queue for one direction of one link."""
+
+    def __init__(self, network: "PacketNetwork", link: Link, src: str, dst: str):
+        self.network = network
+        self.engine = network.engine
+        self.link = link
+        self.src = src
+        self.dst = dst
+        self.queue: Deque[Packet] = deque()
+        self.transmitting = False
+
+    def enqueue(self, packet: Packet) -> None:
+        limit = self.network.max_queue_packets
+        if limit is not None and len(self.queue) >= limit:
+            self.network.packets_dropped += 1
+            return
+        self.queue.append(packet)
+        if not self.transmitting:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        packet = self.queue.popleft()
+        self.transmitting = True
+        wake = self.link.begin_activity(self.src, self.dst)
+        tx_time = packet.size_bytes * 8.0 / self.link.current_rate_bps
+        self.engine.schedule(wake + tx_time, self._tx_done, packet)
+
+    def _tx_done(self, packet: Packet) -> None:
+        self.link.end_activity(self.src, self.dst)
+        self.engine.schedule(self.link.propagation_delay_s, self.network._hop_arrived, packet)
+        if self.queue:
+            self._start_next()
+        else:
+            self.transmitting = False
+
+    @property
+    def depth(self) -> int:
+        return len(self.queue) + (1 if self.transmitting else 0)
+
+
+class PacketNetwork:
+    """The packet-level communication model over a topology."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        topology: Topology,
+        router: Optional[Router] = None,
+        mtu_bytes: float = DEFAULT_MTU_BYTES,
+        max_queue_packets: Optional[int] = None,
+        local_transfer_delay_s: float = 0.0,
+    ):
+        if mtu_bytes <= 0:
+            raise ValueError(f"MTU must be positive, got {mtu_bytes}")
+        self.engine = engine
+        self.topology = topology
+        self.router = router or Router(topology)
+        self.mtu_bytes = mtu_bytes
+        self.max_queue_packets = max_queue_packets
+        self.local_transfer_delay_s = local_transfer_delay_s
+        self._queues: Dict[Tuple[str, str], _OutputQueue] = {}
+        self.packets_delivered = 0
+        self.packets_dropped = 0
+        self.packet_delay = LatencyCollector("packet_delay")
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+    def send_packet(
+        self,
+        src: str,
+        dst: str,
+        size_bytes: float,
+        on_delivered: Optional[Callable[[Packet], None]] = None,
+        flow_key: Optional[str] = None,
+    ) -> Packet:
+        """Inject a single packet from node ``src`` to node ``dst``."""
+        path = self.router.route(src, dst, flow_key=flow_key)
+        if len(path) < 2:
+            raise ValueError(f"packet needs at least one hop, got path {path}")
+        packet = Packet(size_bytes, path, self.engine.now, on_delivered)
+        self._forward(packet)
+        return packet
+
+    def transfer(
+        self,
+        src_server_id: int,
+        dst_server_id: int,
+        size_bytes: float,
+        callback: Callable[[], None],
+    ) -> None:
+        """Scheduler-facing transfer: packetize and call back on completion.
+
+        With finite buffers, dropped packets make the transfer hang — the
+        realistic consequence of loss without a retransmission protocol; see
+        ``packets_dropped``.  Experiments that need reliability should size
+        buffers accordingly (the paper's studies do not exercise loss).
+        """
+        if size_bytes < 0:
+            raise ValueError(f"negative transfer size {size_bytes}")
+        if src_server_id == dst_server_id or size_bytes == 0:
+            self.engine.schedule(self.local_transfer_delay_s, callback)
+            return
+        src = self.topology.server_node(src_server_id)
+        dst = self.topology.server_node(dst_server_id)
+        n_packets = max(1, int((size_bytes + self.mtu_bytes - 1) // self.mtu_bytes))
+        state = {"remaining": n_packets}
+        flow_key = f"{src}->{dst}#{Packet._ids}"
+
+        def _one_arrived(_packet: Packet) -> None:
+            state["remaining"] -= 1
+            if state["remaining"] == 0:
+                callback()
+
+        remaining_bytes = size_bytes
+        for _ in range(n_packets):
+            chunk = min(self.mtu_bytes, remaining_bytes)
+            remaining_bytes -= chunk
+            self.send_packet(src, dst, chunk, _one_arrived, flow_key=flow_key)
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+    def _queue_for(self, src: str, dst: str) -> _OutputQueue:
+        key = (src, dst)
+        queue = self._queues.get(key)
+        if queue is None:
+            link = self.topology.link_between(src, dst)
+            queue = _OutputQueue(self, link, src, dst)
+            self._queues[key] = queue
+        return queue
+
+    def _forward(self, packet: Packet) -> None:
+        u = packet.path[packet.hop_index]
+        v = packet.path[packet.hop_index + 1]
+        self._queue_for(u, v).enqueue(packet)
+
+    def _hop_arrived(self, packet: Packet) -> None:
+        packet.hop_index += 1
+        if packet.hop_index >= len(packet.path) - 1:
+            self.packets_delivered += 1
+            self.packet_delay.record(self.engine.now - packet.sent_at)
+            if packet.on_delivered is not None:
+                packet.on_delivered(packet)
+            return
+        self._forward(packet)
+
+    # ------------------------------------------------------------------
+    def queue_depth(self, src: str, dst: str) -> int:
+        """Current output-queue depth (packets) for a directed hop."""
+        key = (src, dst)
+        queue = self._queues.get(key)
+        return queue.depth if queue is not None else 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<PacketNetwork delivered={self.packets_delivered} "
+            f"dropped={self.packets_dropped}>"
+        )

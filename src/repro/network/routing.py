@@ -1,0 +1,92 @@
+"""Routing: static shortest paths with deterministic ECMP tie-breaking.
+
+The paper's routing "can be either statically generated or dynamically
+computed" (§III-B).  The :class:`Router` precomputes (lazily, with caching)
+all shortest paths between node pairs and spreads traffic across equal-cost
+paths with a deterministic hash, so a given flow id always takes the same
+path (no packet reordering) while distinct flows load-balance.
+
+Dynamic power-aware selection (pick the path waking the fewest sleeping
+switches) is exposed via :meth:`Router.route_power_aware` and used by the
+joint server-network policy (§IV-D).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.network.link import Link
+from repro.network.topology import Topology
+
+
+class Router:
+    """Shortest-path route computation over a :class:`Topology`."""
+
+    def __init__(self, topology: Topology, max_cached_pairs: int = 100_000):
+        self.topology = topology
+        self.max_cached_pairs = max_cached_pairs
+        self._cache: Dict[Tuple[str, str], List[List[str]]] = {}
+
+    # ------------------------------------------------------------------
+    def equal_cost_paths(self, src: str, dst: str) -> List[List[str]]:
+        """All shortest node paths from ``src`` to ``dst`` (cached)."""
+        key = (src, dst)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        try:
+            paths = sorted(nx.all_shortest_paths(self.topology.graph, src, dst))
+        except nx.NetworkXNoPath:
+            raise ValueError(f"no path between {src!r} and {dst!r}") from None
+        if len(self._cache) < self.max_cached_pairs:
+            self._cache[key] = paths
+        return paths
+
+    def route(self, src: str, dst: str, flow_key: Optional[str] = None) -> List[str]:
+        """One shortest path, chosen deterministically per ``flow_key`` (ECMP)."""
+        if src == dst:
+            return [src]
+        paths = self.equal_cost_paths(src, dst)
+        if len(paths) == 1 or flow_key is None:
+            return paths[0]
+        index = zlib.crc32(flow_key.encode("utf-8")) % len(paths)
+        return paths[index]
+
+    def route_power_aware(self, src: str, dst: str) -> List[str]:
+        """The equal-cost path that wakes the fewest sleeping switches."""
+        if src == dst:
+            return [src]
+        paths = self.equal_cost_paths(src, dst)
+        return min(paths, key=lambda p: (self.wake_cost(p), p))
+
+    # ------------------------------------------------------------------
+    def wake_cost(self, path: List[str]) -> int:
+        """Number of non-ON switches along a node path (§IV-D's network cost)."""
+        switches = self.topology.switches
+        return sum(
+            1
+            for node in path
+            if node in switches and not switches[node].is_on
+        )
+
+    def min_wake_cost(self, src: str, dst: str) -> int:
+        """Wake cost of the cheapest equal-cost path between two nodes."""
+        return min(self.wake_cost(p) for p in self.equal_cost_paths(src, dst))
+
+    def links_on_path(self, path: List[str]) -> List[Tuple[Link, str, str]]:
+        """Directed ``(link, from_node, to_node)`` triples along a node path."""
+        hops = []
+        for u, v in zip(path, path[1:]):
+            hops.append((self.topology.link_between(u, v), u, v))
+        return hops
+
+    def switches_on_path(self, path: List[str]) -> List:
+        """The :class:`Switch` objects traversed by a node path, in order."""
+        return [self.topology.switches[n] for n in path if n in self.topology.switches]
+
+    def invalidate_cache(self) -> None:
+        """Drop cached paths (call after mutating the topology)."""
+        self._cache.clear()

@@ -1,0 +1,36 @@
+"""Power-management policies (paper §III-F and the §IV case studies).
+
+HolDCSim "implements a few configurable power state transition controllers"
+and lets users "prototype their own power policies by writing control
+algorithms and observing individual component's state values."  This package
+contains the controllers the paper's case studies use:
+
+* :class:`AlwaysOnController` — the Active-Idle baseline (§IV-B);
+* :class:`DelayTimerController` — single delay timer τ before system sleep;
+* :class:`DualDelayTimerPolicy` — two server pools with low/high τ (§IV-B);
+* :class:`AdaptivePoolManager` — the workload-adaptive energy-latency
+  framework with active/sleep pools and Twakeup/Tsleep thresholds (§IV-C);
+* :class:`ProvisioningManager` — min/max load-per-server resource
+  provisioning (§IV-A);
+* :class:`JointEnergyManager` — server-network cooperative optimization
+  (§IV-D) lives in :mod:`repro.power.joint`.
+"""
+
+from repro.power.controller import (
+    AlwaysOnController,
+    DelayTimerController,
+    ServerPowerController,
+)
+from repro.power.dual_delay import DualDelayTimerPolicy
+from repro.power.adaptive import AdaptivePoolManager
+from repro.power.dvfs import DvfsGovernor
+from repro.power.provisioning import ProvisioningManager
+
+__all__ = [
+    "AlwaysOnController",
+    "DelayTimerController",
+    "DualDelayTimerPolicy",
+    "AdaptivePoolManager",
+    "ProvisioningManager",
+    "ServerPowerController",
+]

@@ -1,0 +1,33 @@
+"""Global job scheduling (paper §III-E).
+
+The simulated data center has a global scheduler which receives job requests
+from the front end, expands each job into its task DAG, and assigns tasks to
+servers under a configurable dispatch policy (round-robin, load-balancing,
+packing, random, ...).  It optionally keeps a global task queue: tasks that
+cannot be placed immediately wait centrally and are pulled by servers as
+they free up (the paper's "centralized control" mode).
+"""
+
+from repro.scheduling.policies import (
+    CapacityGatedPolicy,
+    DispatchPolicy,
+    LeastLoadedPolicy,
+    PackingPolicy,
+    PowerObliviousPackingPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    TypeAwarePolicy,
+)
+from repro.scheduling.global_scheduler import GlobalScheduler
+
+__all__ = [
+    "CapacityGatedPolicy",
+    "DispatchPolicy",
+    "GlobalScheduler",
+    "LeastLoadedPolicy",
+    "PackingPolicy",
+    "PowerObliviousPackingPolicy",
+    "TypeAwarePolicy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+]

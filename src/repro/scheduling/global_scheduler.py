@@ -1,0 +1,196 @@
+"""The global scheduler: DAG expansion, dispatch, transfers, completion.
+
+Responsibilities (paper §III-C/E):
+
+* receive job requests from the front end and construct the task DAG;
+* dispatch ready tasks to servers under the configured policy, optionally
+  holding unplaceable tasks in a global task queue that servers pull from;
+* when a parent and child task land on different servers, launch the result
+  transfer on the network and hold the child until it arrives (temporal +
+  spatial dependence);
+* record end-to-end job latency and track the number of in-flight jobs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.engine import Engine
+from repro.core.stats import LatencyCollector
+from repro.jobs.task import Job, Task, TaskState
+from repro.scheduling.policies import DispatchPolicy, LeastLoadedPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.server.server import Server
+
+
+class GlobalScheduler:
+    """Front-end scheduler for a simulated server farm.
+
+    Args:
+        engine: the simulation engine.
+        servers: all servers in the farm.
+        policy: dispatch policy for ready tasks.
+        network: optional network model exposing
+            ``transfer(src_server_id, dst_server_id, size_bytes, callback)``;
+            when absent, cross-server transfers complete instantly.
+        use_global_queue: hold tasks centrally when the policy returns None.
+        eligible_provider: optional callable returning the servers currently
+            eligible for dispatch (pool managers plug in here); defaults to
+            the full farm.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        servers: Sequence["Server"],
+        policy: Optional[DispatchPolicy] = None,
+        network=None,
+        use_global_queue: bool = False,
+        eligible_provider: Optional[Callable[[], List["Server"]]] = None,
+    ):
+        self.engine = engine
+        self.servers = list(servers)
+        self.policy = policy or LeastLoadedPolicy()
+        self.network = network
+        self.use_global_queue = use_global_queue
+        self.eligible_provider = eligible_provider
+        self.global_queue: Deque[Task] = deque()
+
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+        self.active_jobs = 0
+        self.job_latency = LatencyCollector("job_latency")
+        self.task_queue_delay = LatencyCollector("task_queue_delay")
+        self.transfer_delay = LatencyCollector("transfer_delay")
+        self.on_job_complete: Optional[Callable[[Job], None]] = None
+
+        # Pending result transfers recorded per not-yet-placed child task:
+        # child -> list of (src_server_id, bytes).
+        self._pending_sources: Dict[Task, List[Tuple[int, float]]] = {}
+        self._placements: Dict[Task, "Server"] = {}
+
+        for server in self.servers:
+            server.on_task_complete = self._on_task_complete
+
+    # ------------------------------------------------------------------
+    # Job intake
+    # ------------------------------------------------------------------
+    def submit_job(self, job: Job) -> None:
+        """Accept a job at the front end; its root tasks become ready now."""
+        if not job.tasks:
+            raise ValueError(f"job {job.job_id} has no tasks")
+        self.jobs_submitted += 1
+        self.active_jobs += 1
+        for task in job.root_tasks():
+            task.state = TaskState.READY
+            self._place_task(task)
+
+    # ------------------------------------------------------------------
+    # Placement and dispatch
+    # ------------------------------------------------------------------
+    def _candidates(self) -> List["Server"]:
+        if self.eligible_provider is not None:
+            eligible = self.eligible_provider()
+            if eligible:
+                return eligible
+        return self.servers
+
+    def _place_task(self, task: Task) -> None:
+        candidates = self._candidates()
+        server = self.policy.select_server(task, candidates)
+        if server is None:
+            if self.use_global_queue:
+                task.state = TaskState.QUEUED
+                self.global_queue.append(task)
+                return
+            server = LeastLoadedPolicy().select_server(task, candidates)
+            assert server is not None, "no servers configured"
+        self._assign(task, server)
+
+    def _assign(self, task: Task, server: "Server") -> None:
+        self._placements[task] = server
+        sources = self._pending_sources.pop(task, [])
+        launched = False
+        for src_server_id, size_bytes in sources:
+            if size_bytes > 0 and src_server_id != server.server_id and self.network is not None:
+                task.transfer_started()
+                launched = True
+                started_at = self.engine.now
+                self.network.transfer(
+                    src_server_id,
+                    server.server_id,
+                    size_bytes,
+                    self._make_transfer_callback(task, started_at),
+                )
+        if not launched and task.dependencies_met:
+            self._submit(task, server)
+        # If transfers were launched, _submit happens from the last callback.
+
+    def _make_transfer_callback(self, task: Task, started_at: float):
+        def _done() -> None:
+            self.transfer_delay.record(self.engine.now - started_at)
+            task.transfer_finished()
+            if task.dependencies_met:
+                self._submit(task, self._placements[task])
+
+        return _done
+
+    def _submit(self, task: Task, server: "Server") -> None:
+        task.ready_time = self.engine.now
+        server.submit_task(task)
+
+    # ------------------------------------------------------------------
+    # Completion handling (wired into every server)
+    # ------------------------------------------------------------------
+    def _on_task_complete(self, server: "Server", task: Task) -> None:
+        now = self.engine.now
+        if task.start_time is not None and task.ready_time is not None:
+            self.task_queue_delay.record(task.start_time - task.ready_time)
+        job = task.job
+        for child_index, transfer_bytes in job.children_of(task.index):
+            child = job.tasks[child_index]
+            child.parent_finished()
+            self._pending_sources.setdefault(child, []).append(
+                (server.server_id, transfer_bytes)
+            )
+            if child.remaining_parents == 0:
+                child.state = TaskState.READY
+                self._place_task(child)
+        if job.task_finished(task, now):
+            self.active_jobs -= 1
+            self.jobs_completed += 1
+            self.job_latency.record(job.latency())
+            if self.on_job_complete is not None:
+                self.on_job_complete(job)
+        self._drain_global_queue(server)
+
+    def _drain_global_queue(self, server: "Server") -> None:
+        """A server freed capacity; let it pull from the global task queue."""
+        if not self.use_global_queue or not self.global_queue:
+            return
+        while (
+            self.global_queue
+            and server.can_execute
+            and server.find_available_core() is not None
+        ):
+            task = self.global_queue.popleft()
+            self._assign(task, server)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def global_queue_length(self) -> int:
+        return len(self.global_queue)
+
+    def total_pending_tasks(self) -> int:
+        """Tasks in flight anywhere: global queue + per-server pending."""
+        return len(self.global_queue) + sum(s.pending_task_count for s in self.servers)
+
+    def __repr__(self) -> str:
+        return (
+            f"<GlobalScheduler servers={len(self.servers)} "
+            f"active_jobs={self.active_jobs} gq={len(self.global_queue)}>"
+        )

@@ -1,0 +1,29 @@
+"""Server substrate: multi-core servers with hierarchical ACPI power states.
+
+Implements the paper's server model (§III-A, Fig. 2): each server has one or
+more multi-core processors, a DRAM component and platform resources; each
+core serves one task at a time; queuing delays count toward task latency; the
+power model follows the ACPI hierarchy — core C-states (C0/C1/C6), package
+C-states (PC0/PC6), and system sleep states (S0/S3/S5) with realistic
+transition latencies.
+"""
+
+from repro.server.states import (
+    CoreState,
+    PackageState,
+    ResidencyCategory,
+    SystemState,
+)
+from repro.server.core_unit import Core
+from repro.server.processor import Processor
+from repro.server.server import Server
+
+__all__ = [
+    "Core",
+    "CoreState",
+    "PackageState",
+    "Processor",
+    "ResidencyCategory",
+    "Server",
+    "SystemState",
+]

@@ -1,0 +1,170 @@
+"""A processor package: a set of cores plus package-level C-state control.
+
+Package C6 ("shallow sleep" in §IV-C) is entered when every core has been in
+core C6 for the configured package timer; it powers down the uncore (shared
+caches, coherence fabric) for a few extra watts of savings at the cost of a
+sub-millisecond exit latency paid by the next task.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.core.engine import Engine, EventHandle
+from repro.core.stats import StateTracker
+from repro.core.config import ProcessorConfig
+from repro.jobs.task import Task
+from repro.server.core_unit import Core
+from repro.server.states import CoreState, PackageState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.server.server import Server
+
+
+class Processor:
+    """One socket's package: cores, package C-state, P-state (DVFS)."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: ProcessorConfig,
+        socket_index: int = 0,
+        server_label: str = "server",
+        allow_package_c6: bool = True,
+    ):
+        self.engine = engine
+        self.config = config
+        self.socket_index = socket_index
+        self.server_label = server_label
+        self.allow_package_c6 = allow_package_c6
+        self.frequency_ghz = config.frequency_ghz
+        factors = config.core_speed_factors or (1.0,) * config.n_cores
+        self.cores: List[Core] = [Core(self, i, factors[i]) for i in range(config.n_cores)]
+        self.package_state = PackageState.PC0
+        self.tracker = StateTracker(PackageState.PC0.value, engine.now)
+        self._pc6_timer: Optional[EventHandle] = None
+        # Wired by the owning Server.
+        self.on_task_complete: Optional[Callable[[Core, Task], None]] = None
+        self.on_power_change: Optional[Callable[[], None]] = None
+
+    # ------------------------------------------------------------------
+    # Dispatch support
+    # ------------------------------------------------------------------
+    def available_cores(self) -> List[Core]:
+        """Cores that can accept a task right now, fastest first.
+
+        Sorting by descending speed factor makes the local scheduler
+        heterogeneity-aware for free: big cores are preferred when idle.
+        """
+        free = [c for c in self.cores if c.available]
+        free.sort(key=lambda c: (-c.speed_factor, c.index))
+        return free
+
+    def prepare_dispatch(self) -> float:
+        """Exit package C6 if needed; returns the exit latency to charge.
+
+        Called by the local scheduler just before assigning a task to one of
+        this package's cores.
+        """
+        self._cancel_pc6_timer()
+        if self.package_state is PackageState.PC6:
+            self._set_package_state(PackageState.PC0)
+            return self.config.package_profile.pc6_exit_latency_s
+        return 0.0
+
+    def set_frequency(self, frequency_ghz: float) -> None:
+        """Change the package P-state; applies to subsequently started tasks."""
+        available = self.config.available_frequencies_ghz
+        if available and frequency_ghz not in available:
+            raise ValueError(
+                f"frequency {frequency_ghz} GHz not among available P-states {available}"
+            )
+        self.frequency_ghz = frequency_ghz
+        self._notify_power_change()
+
+    # ------------------------------------------------------------------
+    # System sleep coordination (driven by the Server)
+    # ------------------------------------------------------------------
+    def force_sleep(self) -> None:
+        """Push all (idle) cores to C6 and the package to PC6 on S3/S5 entry."""
+        for core in self.cores:
+            if core.busy:
+                raise RuntimeError(f"cannot sleep {self.server_label}: {core} is busy")
+            core.force_c6()
+        self._cancel_pc6_timer()
+        self._set_package_state(PackageState.PC6)
+
+    def wake_from_sleep(self) -> None:
+        """Return package and cores to the working state after system wake."""
+        self._set_package_state(PackageState.PC0)
+        for core in self.cores:
+            core.wake_to_idle()
+
+    # ------------------------------------------------------------------
+    # Core callbacks
+    # ------------------------------------------------------------------
+    def on_core_complete(self, core: Core, task: Task) -> None:
+        if self.on_task_complete is not None:
+            self.on_task_complete(core, task)
+
+    def on_core_state_change(self, core: Core) -> None:
+        if all(c.state is CoreState.C6 for c in self.cores):
+            self._arm_pc6_timer()
+        else:
+            self._cancel_pc6_timer()
+            if self.package_state is PackageState.PC6 and any(
+                c.state is not CoreState.C6 for c in self.cores
+            ):
+                self._set_package_state(PackageState.PC0)
+        self._notify_power_change()
+
+    # ------------------------------------------------------------------
+    # Package C6 timer
+    # ------------------------------------------------------------------
+    def _arm_pc6_timer(self) -> None:
+        if not self.allow_package_c6 or self.package_state is PackageState.PC6:
+            return
+        if self._pc6_timer is not None and self._pc6_timer.pending:
+            return
+        self._pc6_timer = self.engine.schedule(self.config.package_c6_timer_s, self._enter_pc6)
+
+    def _cancel_pc6_timer(self) -> None:
+        if self._pc6_timer is not None and self._pc6_timer.pending:
+            self._pc6_timer.cancel()
+        self._pc6_timer = None
+
+    def _enter_pc6(self) -> None:
+        self._pc6_timer = None
+        if all(c.state is CoreState.C6 for c in self.cores):
+            self._set_package_state(PackageState.PC6)
+
+    def _set_package_state(self, state: PackageState) -> None:
+        if state is self.package_state:
+            return
+        self.package_state = state
+        self.tracker.set_state(state.value, self.engine.now)
+        self._notify_power_change()
+
+    def _notify_power_change(self) -> None:
+        if self.on_power_change is not None:
+            self.on_power_change()
+
+    # ------------------------------------------------------------------
+    # Power
+    # ------------------------------------------------------------------
+    def power_w(self) -> float:
+        """Instantaneous package power: uncore plus every core."""
+        profile = self.config.package_profile
+        uncore = profile.pc6_w if self.package_state is PackageState.PC6 else profile.pc0_w
+        return uncore + sum(core.power_w() for core in self.cores)
+
+    @property
+    def busy_core_count(self) -> int:
+        """Number of cores currently executing a task."""
+        return sum(1 for c in self.cores if c.busy)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Processor {self.server_label}/s{self.socket_index} "
+            f"{self.package_state.value} busy={self.busy_core_count}/{len(self.cores)}>"
+        )

@@ -1,0 +1,356 @@
+"""The server model: sockets, local queues, system sleep states, power.
+
+A server accepts tasks from the global scheduler, queues them locally,
+executes them on cores, and reports completions back.  Its power controller
+(see :mod:`repro.power`) decides when to enter system sleep states; the
+server enforces the legal transition graph::
+
+    S0 --sleep()--> ENTERING_SLEEP --entry latency--> S3/S5
+    S3/S5 --request_wake()--> WAKING --exit latency--> S0
+
+A wake requested while the server is still entering sleep is honoured as
+soon as entry completes (the "wake race" every delay-timer policy hits).
+
+Energy is accounted per component — CPU, DRAM, platform — exactly the
+breakdown Fig. 9 of the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import ServerConfig
+from repro.core.engine import Engine, EventHandle
+from repro.core.stats import EnergyAccount, StateTracker
+from repro.jobs.task import Task
+from repro.server.core_unit import Core
+from repro.server.local_scheduler import make_local_scheduler
+from repro.server.processor import Processor
+from repro.server.states import ResidencyCategory, SystemState
+
+SLEEP_LEVELS = {"s3": SystemState.S3, "s5": SystemState.S5}
+
+
+class Server:
+    """One simulated server (Fig. 2 of the paper)."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: ServerConfig,
+        server_id: int = 0,
+        name: Optional[str] = None,
+        allow_package_c6: bool = True,
+        auto_wake_on_arrival: bool = True,
+    ):
+        self.engine = engine
+        self.config = config
+        self.server_id = server_id
+        self.name = name or f"{config.name}-{server_id}"
+        self.auto_wake_on_arrival = auto_wake_on_arrival
+        self.system_state = SystemState.S0
+        self._sleep_target = SystemState.S3
+        self._wake_pending = False
+        self._transition: Optional[EventHandle] = None
+
+        self.processors: List[Processor] = [
+            Processor(
+                engine,
+                config.processor,
+                socket_index=i,
+                server_label=self.name,
+                allow_package_c6=allow_package_c6,
+            )
+            for i in range(config.n_sockets)
+        ]
+        for proc in self.processors:
+            proc.on_task_complete = self._on_core_complete
+            proc.on_power_change = self._on_power_change
+        self.local_scheduler = make_local_scheduler(self, config.queue_policy)
+
+        # Observers wired by the global scheduler / power policies.
+        self.on_task_complete: Optional[Callable[["Server", Task], None]] = None
+        self.power_controller = None  # set via attach_controller()
+
+        # Telemetry.
+        now = engine.now
+        self.residency = StateTracker(ResidencyCategory.IDLE, now)
+        self.cpu_energy = EnergyAccount("cpu", 0.0, now)
+        self.dram_energy = EnergyAccount("dram", 0.0, now)
+        self.platform_energy = EnergyAccount("platform", 0.0, now)
+        self.tasks_completed = 0
+        self.tasks_submitted = 0
+        self.tags: Dict[str, object] = {}
+        self._update_power()
+        self._update_residency()
+
+    # ------------------------------------------------------------------
+    # Controller attachment
+    # ------------------------------------------------------------------
+    def attach_controller(self, controller) -> None:
+        """Attach a power controller (see :mod:`repro.power.controller`)."""
+        self.power_controller = controller
+        controller.attach(self)
+
+    # ------------------------------------------------------------------
+    # Task intake and execution
+    # ------------------------------------------------------------------
+    def submit_task(self, task: Task) -> None:
+        """Accept a task from the global scheduler (or the network)."""
+        self.tasks_submitted += 1
+        task.server_id = self.server_id
+        self.local_scheduler.enqueue(task)
+        if self.power_controller is not None:
+            self.power_controller.on_task_arrival(self, task)
+        if self.system_state is SystemState.S0:
+            self.local_scheduler.dispatch()
+        elif self.auto_wake_on_arrival:
+            self.request_wake()
+
+    @property
+    def can_execute(self) -> bool:
+        """True while the platform is in S0 and cores may start tasks."""
+        return self.system_state is SystemState.S0
+
+    def all_cores(self) -> List[Core]:
+        """Every core across all sockets."""
+        return [core for proc in self.processors for core in proc.cores]
+
+    def find_available_core(self) -> Optional[Core]:
+        """The best free core across sockets (fastest first), or None."""
+        best: Optional[Core] = None
+        for proc in self.processors:
+            for core in proc.available_cores():
+                if best is None or core.speed_factor > best.speed_factor:
+                    best = core
+                break  # available_cores is sorted; first is this socket's best
+        return best
+
+    def start_task_on_core(self, core: Core, task: Task) -> None:
+        """Dispatch ``task`` on ``core``, charging package-C6 exit latency."""
+        if not self.can_execute:
+            raise RuntimeError(f"{self.name} cannot execute in {self.system_state.value}")
+        delay = core.processor.prepare_dispatch()
+        core.assign(task, extra_start_delay=delay)
+        self._update_power()
+        self._update_residency()
+
+    def preempt_core(self, core: Core) -> Optional[Task]:
+        """Abort the task running on ``core`` and hand the core new work.
+
+        Returns the aborted task (restartable: resubmit it to run it again),
+        or None if the core was idle.  Used by failure-injection studies and
+        by policies that reclaim cores.
+        """
+        task = core.preempt()
+        if task is not None:
+            self.local_scheduler.on_core_free(core)
+            self._update_power()
+            self._update_residency()
+        return task
+
+    def _on_core_complete(self, core: Core, task: Task) -> None:
+        self.tasks_completed += 1
+        self.local_scheduler.on_core_free(core)
+        self._update_power()
+        self._update_residency()
+        if self.on_task_complete is not None:
+            self.on_task_complete(self, task)
+        if self.power_controller is not None:
+            self.power_controller.on_task_complete(self, task)
+            if self.is_idle:
+                self.power_controller.on_server_idle(self)
+
+    # ------------------------------------------------------------------
+    # Load metrics (used by global scheduling and pool policies)
+    # ------------------------------------------------------------------
+    @property
+    def running_task_count(self) -> int:
+        """Tasks currently occupying cores."""
+        return sum(proc.busy_core_count for proc in self.processors)
+
+    @property
+    def queued_task_count(self) -> int:
+        """Tasks waiting in the local queue(s)."""
+        return self.local_scheduler.queued_count
+
+    @property
+    def pending_task_count(self) -> int:
+        """Running + queued tasks — the per-server load estimator input."""
+        return self.running_task_count + self.queued_task_count
+
+    @property
+    def is_idle(self) -> bool:
+        """No running and no queued tasks."""
+        return self.pending_task_count == 0
+
+    @property
+    def total_cores(self) -> int:
+        return self.config.total_cores
+
+    # ------------------------------------------------------------------
+    # System sleep state machine
+    # ------------------------------------------------------------------
+    def sleep(self, level: str = "s3") -> bool:
+        """Begin the transition to a system sleep state.
+
+        Returns False (and does nothing) if the server has pending work or is
+        already sleeping/transitioning — policies are expected to drain a
+        server before parking it.
+        """
+        if level not in SLEEP_LEVELS:
+            raise ValueError(f"unknown sleep level {level!r}; expected one of {list(SLEEP_LEVELS)}")
+        if self.system_state is not SystemState.S0 or not self.is_idle:
+            return False
+        self._sleep_target = SLEEP_LEVELS[level]
+        self._wake_pending = False
+        for proc in self.processors:
+            proc.force_sleep()
+        self._set_system_state(SystemState.ENTERING_SLEEP)
+        entry = (
+            self.config.platform.s3_entry_latency_s
+            if self._sleep_target is SystemState.S3
+            else self.config.platform.s5_entry_latency_s
+        )
+        self._transition = self.engine.schedule(entry, self._sleep_entry_complete)
+        return True
+
+    def request_wake(self) -> None:
+        """Ask a sleeping (or falling-asleep) server to return to S0."""
+        if self.system_state in (SystemState.S0, SystemState.WAKING):
+            return
+        if self.system_state is SystemState.ENTERING_SLEEP:
+            self._wake_pending = True
+            return
+        self._begin_wake()
+
+    def _sleep_entry_complete(self) -> None:
+        self._transition = None
+        self._set_system_state(self._sleep_target)
+        if self._wake_pending:
+            self._wake_pending = False
+            self._begin_wake()
+
+    def _begin_wake(self) -> None:
+        self._set_system_state(SystemState.WAKING)
+        exit_latency = (
+            self.config.platform.s3_exit_latency_s
+            if self._sleep_target is SystemState.S3
+            else self.config.platform.s5_exit_latency_s
+        )
+        self._transition = self.engine.schedule(exit_latency, self._wake_complete)
+
+    def _wake_complete(self) -> None:
+        self._transition = None
+        self._set_system_state(SystemState.S0)
+        for proc in self.processors:
+            proc.wake_from_sleep()
+        if self.power_controller is not None:
+            self.power_controller.on_server_awake(self)
+        self.local_scheduler.dispatch()
+        if self.is_idle and self.power_controller is not None:
+            self.power_controller.on_server_idle(self)
+
+    def _set_system_state(self, state: SystemState) -> None:
+        if state is self.system_state:
+            return
+        self.system_state = state
+        self._update_power()
+        self._update_residency()
+
+    # ------------------------------------------------------------------
+    # Power and residency accounting
+    # ------------------------------------------------------------------
+    def _on_power_change(self) -> None:
+        self._update_power()
+        self._update_residency()
+
+    def _component_powers(self) -> Dict[str, float]:
+        platform = self.config.platform
+        state = self.system_state
+        if state is SystemState.S3:
+            return {"cpu": 0.0, "dram": platform.dram_selfrefresh_w, "platform": platform.s3_w}
+        if state is SystemState.S5:
+            return {"cpu": 0.0, "dram": 0.0, "platform": platform.s5_w}
+        if state is SystemState.WAKING:
+            # Components ramp at full draw while resuming; the CPU is modelled
+            # at package-active/core-halt power for the wake duration.
+            core_profile = self.config.processor.core_profile
+            pkg_profile = self.config.processor.package_profile
+            cpu = self.config.n_sockets * (
+                pkg_profile.pc0_w + self.config.processor.n_cores * core_profile.c1_w
+            )
+            return {"cpu": cpu, "dram": platform.dram_active_w, "platform": platform.wake_w}
+        # S0 and ENTERING_SLEEP: power follows actual core/package states.
+        cpu = sum(proc.power_w() for proc in self.processors)
+        any_busy = self.running_task_count > 0
+        dram = platform.dram_active_w if any_busy else platform.dram_idle_w
+        other = platform.other_active_w if any_busy else platform.other_idle_w
+        if state is SystemState.ENTERING_SLEEP:
+            other = platform.other_idle_w
+            dram = platform.dram_idle_w
+        return {"cpu": cpu, "dram": dram, "platform": other}
+
+    def _update_power(self) -> None:
+        now = self.engine.now
+        powers = self._component_powers()
+        self.cpu_energy.set_power(powers["cpu"], now)
+        self.dram_energy.set_power(powers["dram"], now)
+        self.platform_energy.set_power(powers["platform"], now)
+
+    def _residency_category(self) -> str:
+        state = self.system_state
+        if state in (SystemState.S3, SystemState.S5, SystemState.ENTERING_SLEEP):
+            return ResidencyCategory.SYS_SLEEP
+        if state is SystemState.WAKING:
+            return ResidencyCategory.WAKE_UP
+        if self.running_task_count > 0:
+            return ResidencyCategory.ACTIVE
+        from repro.server.states import PackageState
+
+        if all(p.package_state is PackageState.PC6 for p in self.processors):
+            return ResidencyCategory.PKG_C6
+        return ResidencyCategory.IDLE
+
+    def _update_residency(self) -> None:
+        self.residency.set_state(self._residency_category(), self.engine.now)
+
+    # ------------------------------------------------------------------
+    # Telemetry accessors
+    # ------------------------------------------------------------------
+    @property
+    def power_w(self) -> float:
+        """Total instantaneous server power (CPU + DRAM + platform)."""
+        powers = self._component_powers()
+        return powers["cpu"] + powers["dram"] + powers["platform"]
+
+    @property
+    def cpu_power_w(self) -> float:
+        """Instantaneous CPU (package + cores) power."""
+        return self._component_powers()["cpu"]
+
+    def energy_breakdown_j(self, now: Optional[float] = None) -> Dict[str, float]:
+        """Energy per component in joules up to ``now`` (Fig. 9's breakdown)."""
+        t = self.engine.now if now is None else now
+        return {
+            "cpu": self.cpu_energy.energy_j(t),
+            "dram": self.dram_energy.energy_j(t),
+            "platform": self.platform_energy.energy_j(t),
+        }
+
+    def total_energy_j(self, now: Optional[float] = None) -> float:
+        """Total server energy in joules up to ``now``."""
+        return sum(self.energy_breakdown_j(now).values())
+
+    def residency_fractions(self, now: Optional[float] = None) -> Dict[str, float]:
+        """Fraction of time per Fig.-8 category since simulation start."""
+        t = self.engine.now if now is None else now
+        fractions = self.residency.residency_fractions(t)
+        return {cat: fractions.get(cat, 0.0) for cat in ResidencyCategory.ALL}
+
+    def __repr__(self) -> str:
+        return (
+            f"<Server {self.name} {self.system_state.value} "
+            f"busy={self.running_task_count}/{self.total_cores} "
+            f"queued={self.queued_task_count}>"
+        )

@@ -1,0 +1,58 @@
+"""Power-state enums for the ACPI hierarchy modeled by HolDCSim (§III-A).
+
+ACPI structures power management hierarchically: global states (Gx) contain
+system sleep states (Sx); within S0 the processor resides in C-states, with
+core-level and package-level variants; P-states (DVFS) set execution speed.
+The simulator models the states the paper's case studies exercise:
+
+* core: C0 (executing), C1 (halt), C6 (power-gated);
+* package: PC0 (active), PC6 (package sleep — "shallow sleep" in §IV-C);
+* system: S0 (working), S3 (suspend-to-RAM — "deep sleep"), S5 (soft off),
+  plus the transitional ENTERING_SLEEP and WAKING phases whose latencies and
+  wake power are what make sleep-state policies a non-trivial trade-off.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class CoreState(enum.Enum):
+    """Per-core C-state."""
+
+    ACTIVE = "C0"      # executing a task
+    C1 = "C1"          # halted, clocks gated, instant-ish wake
+    C6 = "C6"          # power gated, state flushed, microsecond-scale wake
+
+
+class PackageState(enum.Enum):
+    """Package (uncore) C-state; PC6 requires all cores in C6."""
+
+    PC0 = "PC0"
+    PC6 = "PC6"
+
+
+class SystemState(enum.Enum):
+    """ACPI system sleep state, including transitional phases."""
+
+    S0 = "S0"                        # working
+    ENTERING_SLEEP = "entering"      # flushing state, heading to S3/S5
+    S3 = "S3"                        # suspend to RAM
+    S5 = "S5"                        # soft off
+    WAKING = "waking"                # resuming toward S0
+
+
+class ResidencyCategory:
+    """The five server-level residency buckets reported in Fig. 8.
+
+    These are plain strings (not an enum) because they key
+    :class:`repro.core.stats.StateTracker` dictionaries directly.
+    """
+
+    ACTIVE = "Active"
+    WAKE_UP = "Wake-up"
+    IDLE = "Idle"
+    PKG_C6 = "PkgC6"
+    SYS_SLEEP = "SysSleep"
+
+    ALL = (ACTIVE, WAKE_UP, IDLE, PKG_C6, SYS_SLEEP)

@@ -1,0 +1,21 @@
+"""Validation of HolDCSim components against reference models (paper §V).
+
+The paper validates the simulator against a physical 10-core Xeon E5-2680
+server (RAPL/IPMI measurements under an NLANR-driven httperf+Apache load)
+and a Cisco WS-C2960-24-S switch (external power logger under a Wikipedia
+replay).  Without that hardware, this package provides *independent*
+reference models — built from first principles rather than from the
+simulator's event machinery — plus measurement-noise models, and a harness
+that compares simulated and reference power traces the way the paper does
+(mean difference, standard deviation, visual trace overlap).
+"""
+
+from repro.validation.physical import PhysicalServerModel, PhysicalSwitchModel
+from repro.validation.harness import TraceComparison, compare_power_traces
+
+__all__ = [
+    "PhysicalServerModel",
+    "PhysicalSwitchModel",
+    "TraceComparison",
+    "compare_power_traces",
+]

@@ -1,0 +1,80 @@
+"""Trace-comparison harness for the validation experiments (§V).
+
+Quantifies how closely a simulated power trace tracks a reference
+("physical") trace with the statistics the paper reports: mean power of
+each trace, average difference, standard deviation of the difference, and
+relative error.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class TraceComparison:
+    """Summary statistics comparing simulated vs. reference power traces."""
+
+    n_samples: int
+    sim_mean_w: float
+    ref_mean_w: float
+    mean_diff_w: float          # mean(ref - sim); sign shows who reads higher
+    mean_abs_diff_w: float
+    std_diff_w: float
+    relative_error: float       # |mean diff| / ref mean
+    correlation: float          # Pearson r between the two traces
+
+    def summary(self) -> str:
+        """A one-line report in the paper's style."""
+        return (
+            f"n={self.n_samples}  sim={self.sim_mean_w:.2f}W  "
+            f"ref={self.ref_mean_w:.2f}W  |Δ|={self.mean_abs_diff_w:.3f}W  "
+            f"σ(Δ)={self.std_diff_w:.3f}W  err={100 * self.relative_error:.2f}%  "
+            f"r={self.correlation:.3f}"
+        )
+
+
+def compare_power_traces(
+    sim_watts: Sequence[float], ref_watts: Sequence[float]
+) -> TraceComparison:
+    """Compare two aligned power traces sample by sample."""
+    if len(sim_watts) != len(ref_watts):
+        raise ValueError(
+            f"trace lengths differ: sim={len(sim_watts)} ref={len(ref_watts)}"
+        )
+    if not sim_watts:
+        raise ValueError("cannot compare empty traces")
+    n = len(sim_watts)
+    diffs = [r - s for s, r in zip(sim_watts, ref_watts)]
+    sim_mean = sum(sim_watts) / n
+    ref_mean = sum(ref_watts) / n
+    mean_diff = sum(diffs) / n
+    mean_abs = sum(abs(d) for d in diffs) / n
+    var = sum((d - mean_diff) ** 2 for d in diffs) / n
+    std_diff = math.sqrt(var)
+    rel = abs(mean_diff) / ref_mean if ref_mean else float("inf")
+    correlation = _pearson(sim_watts, ref_watts)
+    return TraceComparison(
+        n_samples=n,
+        sim_mean_w=sim_mean,
+        ref_mean_w=ref_mean,
+        mean_diff_w=mean_diff,
+        mean_abs_diff_w=mean_abs,
+        std_diff_w=std_diff,
+        relative_error=rel,
+        correlation=correlation,
+    )
+
+
+def _pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    n = len(xs)
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    vx = sum((x - mx) ** 2 for x in xs)
+    vy = sum((y - my) ** 2 for y in ys)
+    if vx <= 0 or vy <= 0:
+        return 0.0
+    return cov / math.sqrt(vx * vy)

@@ -1,0 +1,57 @@
+"""Workload modeling (paper §III-D).
+
+Two families of arrival models drive the simulator:
+
+* synthetic stochastic processes — Poisson job arrivals and 2-state MMPP
+  (Markov-Modulated Poisson Process) bursty arrivals;
+* trace-based replay — arrival timestamp traces, either read from files or
+  synthesized with the Wikipedia-like (diurnal) and NLANR-like (bursty)
+  generators that substitute for the paper's proprietary traces.
+
+Service-time profiles define what each job costs; the two named profiles
+from the case studies are web search (short, 5 ms) and web serving (long,
+120 ms).  A :class:`WorkloadDriver` glues an arrival model and a job factory
+to the global scheduler.
+"""
+
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    MMPP2Process,
+    PoissonProcess,
+    TraceProcess,
+    arrival_rate_for_utilization,
+)
+from repro.workload.trace import (
+    ArrivalTrace,
+    synthesize_nlanr_trace,
+    synthesize_wikipedia_trace,
+)
+from repro.workload.profiles import (
+    DeterministicService,
+    ExponentialService,
+    ServiceTimeSampler,
+    SingleTaskJobFactory,
+    UniformService,
+    web_search_profile,
+    web_serving_profile,
+)
+from repro.workload.driver import WorkloadDriver
+
+__all__ = [
+    "ArrivalProcess",
+    "ArrivalTrace",
+    "DeterministicService",
+    "ExponentialService",
+    "MMPP2Process",
+    "PoissonProcess",
+    "ServiceTimeSampler",
+    "SingleTaskJobFactory",
+    "TraceProcess",
+    "UniformService",
+    "WorkloadDriver",
+    "arrival_rate_for_utilization",
+    "synthesize_nlanr_trace",
+    "synthesize_wikipedia_trace",
+    "web_search_profile",
+    "web_serving_profile",
+]

@@ -1,0 +1,167 @@
+"""Service-time samplers, job factories, and the named workload profiles.
+
+The case studies use two representative data center workloads (§IV-B):
+
+* **web search** — latency-critical, short service times (mean 5 ms);
+* **web serving** — longer service times (mean 120 ms).
+
+Both are modeled with exponentially distributed service times (the M/M/*
+assumption of §III-D); deterministic and uniform samplers are also provided
+(§IV-A draws task times uniformly from 3–10 ms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.jobs.task import Job
+from repro.jobs.templates import single_task_job
+
+
+class ServiceTimeSampler:
+    """Draws task service times; every sampler knows its mean."""
+
+    mean_s: float
+
+    def sample(self, rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+
+class DeterministicService(ServiceTimeSampler):
+    """Every task takes exactly ``service_s`` seconds."""
+
+    def __init__(self, service_s: float):
+        if service_s <= 0:
+            raise ValueError(f"service time must be positive, got {service_s}")
+        self.mean_s = service_s
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.mean_s
+
+
+class ExponentialService(ServiceTimeSampler):
+    """Exponential service times with the given mean (the M/M/* model)."""
+
+    def __init__(self, mean_s: float):
+        if mean_s <= 0:
+            raise ValueError(f"mean service time must be positive, got {mean_s}")
+        self.mean_s = mean_s
+
+    def sample(self, rng: np.random.Generator) -> float:
+        # Floor at a nanosecond: a zero-length task would break core timing.
+        return max(1e-9, float(rng.exponential(self.mean_s)))
+
+
+class BimodalService(ServiceTimeSampler):
+    """Mostly-short service times with a slow-request mode.
+
+    Models the heavy-tailed behaviour of real request distributions (a small
+    fraction of requests is much more expensive); this is the regime where
+    local scheduler policy matters most — see the "Tales of the Tail"
+    discussion in §II and the local-scheduler ablation bench.
+    """
+
+    def __init__(self, short_s: float, long_s: float, long_fraction: float):
+        if not 0 < short_s <= long_s:
+            raise ValueError(f"need 0 < short <= long, got {short_s}, {long_s}")
+        if not 0.0 <= long_fraction <= 1.0:
+            raise ValueError(f"long_fraction {long_fraction} outside [0, 1]")
+        self.short_s = short_s
+        self.long_s = long_s
+        self.long_fraction = long_fraction
+        self.mean_s = (1 - long_fraction) * short_s + long_fraction * long_s
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if rng.random() < self.long_fraction:
+            return self.long_s
+        return self.short_s
+
+
+class UniformService(ServiceTimeSampler):
+    """Uniform service times in [low_s, high_s] (e.g. 3–10 ms in §IV-A)."""
+
+    def __init__(self, low_s: float, high_s: float):
+        if not 0 < low_s <= high_s:
+            raise ValueError(f"need 0 < low <= high, got [{low_s}, {high_s}]")
+        self.low_s = low_s
+        self.high_s = high_s
+        self.mean_s = (low_s + high_s) / 2.0
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low_s, self.high_s))
+
+
+class SingleTaskJobFactory:
+    """Builds single-task jobs from a service-time sampler.
+
+    This is the job shape used by every single-farm case study (§IV-A..C);
+    DAG-shaped factories for the joint server-network study live with the
+    experiment (see :mod:`repro.experiments.joint_energy`).
+    """
+
+    def __init__(
+        self,
+        sampler: ServiceTimeSampler,
+        rng: np.random.Generator,
+        job_type: str = "single",
+        compute_intensity: float = 1.0,
+    ):
+        self.sampler = sampler
+        self.rng = rng
+        self.job_type = job_type
+        self.compute_intensity = compute_intensity
+
+    @property
+    def mean_service_s(self) -> float:
+        return self.sampler.mean_s
+
+    def __call__(self, arrival_time: float) -> Job:
+        return single_task_job(
+            self.sampler.sample(self.rng),
+            arrival_time=arrival_time,
+            job_type=self.job_type,
+            compute_intensity=self.compute_intensity,
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A named workload: service-time distribution plus QoS expectation.
+
+    ``qos_latency_multiplier`` encodes the paper's QoS convention: the tail
+    latency target is a multiple of the average service time (§IV-C sets the
+    95th-percentile target to 2× the mean service time).
+    """
+
+    name: str
+    mean_service_s: float
+    distribution: str = "exponential"
+    qos_latency_multiplier: float = 2.0
+    qos_percentile: float = 95.0
+
+    def sampler(self) -> ServiceTimeSampler:
+        if self.distribution == "exponential":
+            return ExponentialService(self.mean_service_s)
+        if self.distribution == "deterministic":
+            return DeterministicService(self.mean_service_s)
+        raise ValueError(f"unknown distribution {self.distribution!r}")
+
+    def job_factory(self, rng: np.random.Generator) -> SingleTaskJobFactory:
+        return SingleTaskJobFactory(self.sampler(), rng, job_type=self.name)
+
+    @property
+    def qos_latency_s(self) -> float:
+        """The tail-latency target implied by the QoS multiplier."""
+        return self.qos_latency_multiplier * self.mean_service_s
+
+
+def web_search_profile() -> WorkloadProfile:
+    """Web search: mean service time 5 ms (§IV-B)."""
+    return WorkloadProfile(name="web-search", mean_service_s=0.005)
+
+
+def web_serving_profile() -> WorkloadProfile:
+    """Web serving: mean service time 120 ms (§IV-B)."""
+    return WorkloadProfile(name="web-serving", mean_service_s=0.120)

@@ -1,0 +1,50 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    ServerConfig,
+    small_cloud_server,
+    validation_cpu_profile,
+    xeon_e5_2680_server,
+)
+from repro.core.engine import Engine
+from repro.core.rng import RandomSource
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def rng_source() -> RandomSource:
+    return RandomSource(42)
+
+
+@pytest.fixture
+def rng(rng_source):
+    return rng_source.stream("test")
+
+
+@pytest.fixture
+def small_config() -> ServerConfig:
+    return small_cloud_server(n_cores=2)
+
+
+@pytest.fixture
+def xeon_config() -> ServerConfig:
+    return xeon_e5_2680_server()
+
+
+@pytest.fixture
+def fast_sleep_config() -> ServerConfig:
+    """A server whose sleep transitions are quick, for sleep-path tests."""
+    base = small_cloud_server(n_cores=2)
+    platform = base.platform.to_dict()
+    platform.update(s3_entry_latency_s=0.01, s3_exit_latency_s=0.05)
+    return ServerConfig.from_dict(
+        {**base.to_dict(), "platform": platform}
+    )

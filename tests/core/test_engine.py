@@ -1,0 +1,228 @@
+"""Unit and property-based tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import Engine, SimulationError
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self, engine):
+        order = []
+        engine.schedule(2.0, order.append, "b")
+        engine.schedule(1.0, order.append, "a")
+        engine.schedule(3.0, order.append, "c")
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_run_fifo(self, engine):
+        order = []
+        for tag in range(10):
+            engine.schedule(1.0, order.append, tag)
+        engine.run()
+        assert order == list(range(10))
+
+    def test_now_matches_event_time_inside_callback(self, engine):
+        seen = []
+        engine.schedule(1.5, lambda: seen.append(engine.now))
+        engine.schedule(4.25, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [1.5, 4.25]
+
+    def test_schedule_at_absolute_time(self, engine):
+        seen = []
+        engine.schedule_at(7.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [7.0]
+
+    def test_schedule_in_past_raises(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_raises(self, engine):
+        with pytest.raises(SimulationError):
+            engine.schedule(-0.1, lambda: None)
+
+    def test_zero_delay_runs_now(self, engine):
+        seen = []
+        engine.schedule(1.0, lambda: engine.schedule(0.0, lambda: seen.append(engine.now)))
+        engine.run()
+        assert seen == [1.0]
+
+    def test_callback_args_passed_through(self, engine):
+        seen = []
+        engine.schedule(1.0, lambda a, b: seen.append((a, b)), 1, "x")
+        engine.run()
+        assert seen == [(1, "x")]
+
+    def test_events_scheduled_from_callbacks(self, engine):
+        order = []
+
+        def first():
+            order.append("first")
+            engine.schedule(1.0, lambda: order.append("second"))
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert order == ["first", "second"]
+        assert engine.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, engine):
+        fired = []
+        handle = engine.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_cancel_twice_is_noop(self, engine):
+        handle = engine.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        engine.run()
+
+    def test_pending_flag(self, engine):
+        handle = engine.schedule(1.0, lambda: None)
+        assert handle.pending
+        handle.cancel()
+        assert not handle.pending
+
+    def test_fired_event_not_pending(self, engine):
+        handle = engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert not handle.pending
+
+    def test_cancel_from_earlier_event(self, engine):
+        fired = []
+        later = engine.schedule(2.0, fired.append, "later")
+        engine.schedule(1.0, later.cancel)
+        engine.run()
+        assert fired == []
+
+    def test_pending_count_ignores_cancelled(self, engine):
+        handles = [engine.schedule(1.0, lambda: None) for _ in range(5)]
+        handles[0].cancel()
+        handles[3].cancel()
+        assert engine.pending_count() == 3
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_horizon(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(10.0, lambda: None)
+        engine.run(until=5.0)
+        assert engine.now == 5.0
+        assert engine.pending_count() == 1
+
+    def test_run_until_resumable(self, engine):
+        seen = []
+        engine.schedule(10.0, seen.append, "late")
+        engine.run(until=5.0)
+        assert seen == []
+        engine.run()
+        assert seen == ["late"]
+
+    def test_event_exactly_at_horizon_runs(self, engine):
+        seen = []
+        engine.schedule(5.0, seen.append, "edge")
+        engine.run(until=5.0)
+        assert seen == ["edge"]
+
+    def test_stop_from_callback(self, engine):
+        seen = []
+
+        def first():
+            seen.append(1)
+            engine.stop()
+
+        engine.schedule(1.0, first)
+        engine.schedule(2.0, seen.append, 2)
+        engine.run()
+        assert seen == [1]
+        assert engine.pending_count() == 1
+
+    def test_max_events_guard(self, engine):
+        def loop():
+            engine.schedule(0.0, loop)
+
+        engine.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+    def test_run_not_reentrant(self, engine):
+        def nested():
+            engine.run()
+
+        engine.schedule(1.0, nested)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_step_returns_false_when_empty(self, engine):
+        assert engine.step() is False
+
+    def test_peek_time(self, engine):
+        assert engine.peek_time() is None
+        engine.schedule(3.0, lambda: None)
+        engine.schedule(1.0, lambda: None)
+        assert engine.peek_time() == 1.0
+
+    def test_events_executed_counter(self, engine):
+        for _ in range(7):
+            engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.events_executed == 7
+
+    def test_start_time(self):
+        engine = Engine(start_time=100.0)
+        assert engine.now == 100.0
+        with pytest.raises(SimulationError):
+            engine.schedule_at(50.0, lambda: None)
+
+
+class TestEngineProperties:
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_execution_times_are_sorted(self, delays):
+        engine = Engine()
+        fired = []
+        for d in delays:
+            engine.schedule(d, lambda: fired.append(engine.now))
+        engine.run()
+        assert len(fired) == len(delays)
+        assert fired == sorted(fired)
+
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        ),
+        cancel_mask=st.lists(st.booleans(), min_size=1, max_size=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cancelled_subset_never_fires(self, delays, cancel_mask):
+        engine = Engine()
+        fired = []
+        handles = [
+            engine.schedule(d, fired.append, i) for i, d in enumerate(delays)
+        ]
+        cancelled = set()
+        for i, (handle, cancel) in enumerate(zip(handles, cancel_mask)):
+            if cancel:
+                handle.cancel()
+                cancelled.add(i)
+        engine.run()
+        assert set(fired).isdisjoint(cancelled)
+        assert set(fired) | cancelled == set(range(len(delays)))

@@ -1,0 +1,242 @@
+"""Tests for state trackers, energy accounts, latency collectors, samplers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import Engine
+from repro.core.stats import (
+    EnergyAccount,
+    LatencyCollector,
+    StateTracker,
+    TimeSeriesSampler,
+)
+
+
+class TestStateTracker:
+    def test_initial_state_accumulates(self):
+        tracker = StateTracker("idle")
+        assert tracker.residency(5.0) == {"idle": 5.0}
+
+    def test_transition_splits_residency(self):
+        tracker = StateTracker("idle")
+        tracker.set_state("busy", 2.0)
+        res = tracker.residency(5.0)
+        assert res["idle"] == pytest.approx(2.0)
+        assert res["busy"] == pytest.approx(3.0)
+
+    def test_same_state_call_is_noop(self):
+        tracker = StateTracker("idle")
+        tracker.set_state("idle", 2.0)
+        assert tracker.transition_count() == 0
+
+    def test_transition_counts(self):
+        tracker = StateTracker("a")
+        tracker.set_state("b", 1.0)
+        tracker.set_state("a", 2.0)
+        tracker.set_state("b", 3.0)
+        assert tracker.transition_count() == 3
+        assert tracker.transition_count(src="a", dst="b") == 2
+        assert tracker.transition_count(src="b") == 1
+        assert tracker.transition_count(dst="b") == 2
+
+    def test_time_backwards_raises(self):
+        tracker = StateTracker("a")
+        tracker.set_state("b", 5.0)
+        with pytest.raises(ValueError):
+            tracker.set_state("c", 4.0)
+
+    def test_fractions_sum_to_one(self):
+        tracker = StateTracker("a")
+        tracker.set_state("b", 1.5)
+        tracker.set_state("c", 4.0)
+        fractions = tracker.residency_fractions(10.0)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_fractions_empty_at_zero_span(self):
+        tracker = StateTracker("a")
+        assert tracker.residency_fractions(0.0) == {}
+
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.001, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        ),
+        states=st.lists(st.sampled_from("abcd"), min_size=1, max_size=50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_residency_always_sums_to_elapsed(self, times, states):
+        tracker = StateTracker("start")
+        t = 0.0
+        for dt, state in zip(times, states):
+            t += dt
+            tracker.set_state(state, t)
+        horizon = t + 1.0
+        assert sum(tracker.residency(horizon).values()) == pytest.approx(horizon)
+
+
+class TestEnergyAccount:
+    def test_constant_power_integration(self):
+        account = EnergyAccount("cpu", initial_power_w=10.0)
+        assert account.energy_j(5.0) == pytest.approx(50.0)
+
+    def test_power_change_accrues_segments(self):
+        account = EnergyAccount("cpu", initial_power_w=10.0)
+        account.set_power(20.0, 2.0)
+        account.set_power(0.0, 3.0)
+        assert account.energy_j(10.0) == pytest.approx(10 * 2 + 20 * 1)
+
+    def test_query_does_not_mutate(self):
+        account = EnergyAccount("cpu", initial_power_w=5.0)
+        assert account.energy_j(2.0) == pytest.approx(10.0)
+        assert account.energy_j(4.0) == pytest.approx(20.0)
+
+    def test_time_backwards_raises(self):
+        account = EnergyAccount("cpu", initial_power_w=5.0)
+        account.set_power(1.0, 5.0)
+        with pytest.raises(ValueError):
+            account.set_power(2.0, 4.0)
+
+    @given(
+        segments=st.lists(
+            st.tuples(
+                st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_energy_equals_sum_of_power_times_dt(self, segments):
+        account = EnergyAccount("x", initial_power_w=0.0)
+        t = 0.0
+        expected = 0.0
+        power = 0.0
+        for dt, next_power in segments:
+            expected += power * dt
+            t += dt
+            account.set_power(next_power, t)
+            power = next_power
+        assert account.energy_j(t) == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+class TestLatencyCollector:
+    def test_mean(self):
+        collector = LatencyCollector()
+        for v in (1.0, 2.0, 3.0):
+            collector.record(v)
+        assert collector.mean() == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        collector = LatencyCollector()
+        with pytest.raises(ValueError):
+            collector.mean()
+        with pytest.raises(ValueError):
+            collector.percentile(50)
+        with pytest.raises(ValueError):
+            collector.cdf()
+
+    def test_percentile_bounds(self):
+        collector = LatencyCollector()
+        collector.record(1.0)
+        with pytest.raises(ValueError):
+            collector.percentile(101)
+        with pytest.raises(ValueError):
+            collector.percentile(-1)
+
+    def test_percentile_nearest_rank(self):
+        collector = LatencyCollector()
+        for v in range(1, 11):
+            collector.record(float(v))
+        assert collector.percentile(0) == 1.0
+        assert collector.percentile(100) == 10.0
+        assert collector.percentile(50) == 5.0
+        assert collector.percentile(90) == 9.0
+
+    def test_percentile_matches_numpy_on_large_sample(self, rng):
+        collector = LatencyCollector()
+        data = rng.exponential(1.0, size=5000)
+        for v in data:
+            collector.record(float(v))
+        for p in (50, 90, 95, 99):
+            ours = collector.percentile(p)
+            numpy_pct = float(np.percentile(data, p))
+            assert ours == pytest.approx(numpy_pct, rel=0.05)
+
+    def test_cdf_monotone_and_complete(self):
+        collector = LatencyCollector()
+        for v in (3.0, 1.0, 2.0, 2.0):
+            collector.record(v)
+        cdf = collector.cdf()
+        assert cdf.values == sorted(cdf.values)
+        assert cdf.probs[-1] == pytest.approx(1.0)
+        assert cdf.quantile(0.5) == 2.0
+
+    def test_cdf_quantile_bounds(self):
+        collector = LatencyCollector()
+        collector.record(1.0)
+        cdf = collector.cdf()
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_max(self):
+        collector = LatencyCollector()
+        for v in (3.0, 9.0, 1.0):
+            collector.record(v)
+        assert collector.max() == 9.0
+
+    def test_record_after_query_updates(self):
+        collector = LatencyCollector()
+        collector.record(1.0)
+        assert collector.percentile(100) == 1.0
+        collector.record(5.0)
+        assert collector.percentile(100) == 5.0
+
+
+class TestTimeSeriesSampler:
+    def test_samples_at_fixed_interval(self):
+        engine = Engine()
+        sampler = TimeSeriesSampler(engine, interval=1.0)
+        series = sampler.add_probe("clock", lambda: engine.now)
+        sampler.start(first_sample_at=1.0)
+        engine.run(until=5.0)
+        assert series.times == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert series.values == series.times
+
+    def test_stop_halts_sampling(self):
+        engine = Engine()
+        sampler = TimeSeriesSampler(engine, interval=1.0)
+        series = sampler.add_probe("x", lambda: 1.0)
+        sampler.start(first_sample_at=1.0)
+        engine.schedule(2.5, sampler.stop)
+        engine.run(until=10.0)
+        assert len(series) == 2
+
+    def test_multiple_probes_share_clock(self):
+        engine = Engine()
+        sampler = TimeSeriesSampler(engine, interval=0.5)
+        s1 = sampler.add_probe("a", lambda: 1.0)
+        s2 = sampler.add_probe("b", lambda: 2.0)
+        sampler.start()
+        engine.run(until=2.0)
+        assert s1.times == s2.times
+        assert set(s2.values) == {2.0}
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            TimeSeriesSampler(Engine(), interval=0.0)
+
+    def test_series_mean(self):
+        engine = Engine()
+        sampler = TimeSeriesSampler(engine, interval=1.0)
+        series = sampler.add_probe("x", lambda: 4.0)
+        sampler.start(first_sample_at=1.0)
+        engine.run(until=3.0)
+        assert series.mean() == pytest.approx(4.0)

@@ -1,0 +1,53 @@
+"""Policy-ordering integration tests: the expected energy hierarchy holds.
+
+Across the policies the paper studies, total energy at equal load should
+order as: Active-Idle >= single delay timer >= dual delay timer, and the
+adaptive framework should beat the load-balanced delay timer.  These are the
+paper's headline qualitative claims, checked end to end at small scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.delay_timer import run_delay_timer_point
+from repro.experiments.dual_timer import run_dual_timer_point
+from repro.workload.profiles import web_search_profile
+
+SCALE = dict(n_servers=10, n_cores=2, duration_s=10.0)
+
+
+class TestEnergyHierarchy:
+    @pytest.fixture(scope="class")
+    def points(self):
+        profile = web_search_profile()
+        baseline = run_delay_timer_point(None, 0.3, profile, **SCALE)
+        single = run_delay_timer_point(0.05, 0.3, profile, **SCALE)
+        dual = run_dual_timer_point(
+            0.3, profile, single_taus=(0.05, 0.4), pool_fractions=(0.5,),
+            tau_low_values=(0.02,), **SCALE,
+        )
+        return baseline, single, dual
+
+    def test_single_timer_beats_active_idle(self, points):
+        baseline, single, _ = points
+        assert single.energy_j < baseline.energy_j
+
+    def test_dual_saves_energy_at_comparable_qos(self, points):
+        baseline, _, dual = points
+        assert dual.reduction_vs_baseline > 0.15
+        # The headline dual-timer property: savings *without* the latency
+        # blowup an aggressive single timer causes.
+        assert dual.dual_p90_s <= 3.0 * baseline.p90_latency_s
+
+    def test_single_timer_trades_latency_for_energy(self, points):
+        baseline, single, _ = points
+        # The unconstrained single timer saves energy but degrades the tail
+        # (this is exactly why the dual scheme exists).
+        assert single.energy_j < baseline.energy_j
+        assert single.p90_latency_s > baseline.p90_latency_s
+
+    def test_sleep_transitions_only_with_timers(self, points):
+        baseline, single, _ = points
+        assert baseline.sleep_transitions == 0
+        assert single.sleep_transitions > 0

@@ -1,0 +1,116 @@
+"""Cross-module energy and residency invariants on full simulations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import small_cloud_server
+from repro.core.rng import RandomSource
+from repro.experiments.common import build_farm, drive
+from repro.power.controller import DelayTimerController
+from repro.scheduling.policies import PackingPolicy
+from repro.server.states import ResidencyCategory
+from repro.workload.arrivals import PoissonProcess
+from repro.workload.profiles import ExponentialService, SingleTaskJobFactory
+
+
+def run_farm(seed, tau, rho=0.3, n_servers=3, duration=5.0):
+    farm = build_farm(n_servers, small_cloud_server(n_cores=2),
+                      policy=PackingPolicy(), seed=seed)
+    if tau is not None:
+        controller = DelayTimerController(farm.engine, tau)
+        for server in farm.servers:
+            server.attach_controller(controller)
+    rng = RandomSource(seed)
+    mu = 200.0
+    lam = rho * mu * n_servers * 2
+    factory = SingleTaskJobFactory(ExponentialService(1.0 / mu), rng.stream("svc"))
+    drive(farm, PoissonProcess(lam, rng.stream("arr")), factory,
+          duration_s=duration, drain=False)
+    return farm
+
+
+class TestEnergyInvariants:
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        tau=st.sampled_from([None, 0.0, 0.2, 1.0]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_residencies_partition_time(self, seed, tau):
+        duration = 5.0
+        farm = run_farm(seed, tau, duration=duration)
+        for server in farm.servers:
+            residency = server.residency.residency(duration)
+            assert sum(residency.values()) == pytest.approx(duration)
+            assert set(residency) <= set(ResidencyCategory.ALL)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        tau=st.sampled_from([None, 0.0, 0.5]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_energy_non_negative_and_bounded(self, seed, tau):
+        duration = 5.0
+        farm = run_farm(seed, tau, duration=duration)
+        for server in farm.servers:
+            breakdown = server.energy_breakdown_j(duration)
+            assert all(value >= 0 for value in breakdown.values())
+            # Upper bound: the highest possible component draws.
+            proc = server.config.processor
+            max_cpu = server.config.n_sockets * (
+                proc.package_profile.pc0_w
+                + proc.n_cores * proc.core_profile.active_w
+            )
+            platform = server.config.platform
+            ceiling = duration * (
+                max_cpu + platform.dram_active_w + max(platform.other_active_w,
+                                                       platform.wake_w)
+            )
+            assert sum(breakdown.values()) <= ceiling * (1 + 1e-9)
+
+    def test_all_jobs_complete_conserved(self):
+        farm = run_farm(seed=7, tau=0.5, duration=5.0)
+        scheduler = farm.scheduler
+        # Drain whatever is left.
+        while scheduler.active_jobs > 0 and farm.engine.step():
+            pass
+        assert scheduler.jobs_completed == scheduler.jobs_submitted
+        assert len(scheduler.job_latency) == scheduler.jobs_completed
+
+    def test_state_transitions_follow_legal_graph(self):
+        farm = run_farm(seed=11, tau=0.1, duration=8.0)
+        legal = {
+            (ResidencyCategory.ACTIVE, ResidencyCategory.IDLE),
+            (ResidencyCategory.ACTIVE, ResidencyCategory.PKG_C6),
+            (ResidencyCategory.IDLE, ResidencyCategory.ACTIVE),
+            (ResidencyCategory.IDLE, ResidencyCategory.PKG_C6),
+            (ResidencyCategory.IDLE, ResidencyCategory.SYS_SLEEP),
+            (ResidencyCategory.PKG_C6, ResidencyCategory.ACTIVE),
+            (ResidencyCategory.PKG_C6, ResidencyCategory.IDLE),
+            (ResidencyCategory.PKG_C6, ResidencyCategory.SYS_SLEEP),
+            (ResidencyCategory.SYS_SLEEP, ResidencyCategory.WAKE_UP),
+            (ResidencyCategory.WAKE_UP, ResidencyCategory.ACTIVE),
+            (ResidencyCategory.WAKE_UP, ResidencyCategory.IDLE),
+            (ResidencyCategory.WAKE_UP, ResidencyCategory.PKG_C6),
+        }
+        for server in farm.servers:
+            for transition in server.residency.transitions:
+                assert transition in legal, f"illegal transition {transition}"
+
+    def test_deterministic_given_seed(self):
+        a = run_farm(seed=3, tau=0.5)
+        b = run_farm(seed=3, tau=0.5)
+        assert a.scheduler.jobs_completed == b.scheduler.jobs_completed
+        assert a.total_energy_j(5.0) == pytest.approx(b.total_energy_j(5.0))
+        assert list(a.scheduler.job_latency.samples) == pytest.approx(
+            list(b.scheduler.job_latency.samples)
+        )
+
+    def test_different_seeds_differ(self):
+        a = run_farm(seed=3, tau=0.5)
+        b = run_farm(seed=4, tau=0.5)
+        assert list(a.scheduler.job_latency.samples) != list(
+            b.scheduler.job_latency.samples
+        )

@@ -1,0 +1,163 @@
+"""End-to-end smoke tests of every experiment module at reduced scale.
+
+Each test runs the same code path the benchmark harness uses, with small
+parameters, and asserts the qualitative property the paper reports (not the
+absolute numbers — those are checked, at paper scale, by the benches and
+recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    adaptive,
+    delay_timer,
+    dual_timer,
+    joint_energy,
+    provisioning,
+    scalability,
+    validation_server,
+    validation_switch,
+)
+from repro.workload.profiles import web_search_profile
+
+
+class TestProvisioningSmoke:
+    def test_active_servers_track_load(self):
+        result = provisioning.run_provisioning(
+            n_servers=8, duration_s=30.0, mean_rate=300.0, day_length_s=15.0,
+        )
+        # Provisioning parked servers at some point, and reacted to load.
+        assert result.min_active_servers < 8
+        assert result.jobs_completed > 1000
+        # The active-server series is not flat.
+        assert result.max_active_servers > result.min_active_servers
+        assert "Fig. 4" in result.render()
+
+
+class TestDelayTimerSmoke:
+    def test_u_shape_and_bad_extremes(self):
+        profile = web_search_profile()
+        taus = [0.0, 0.1, 2.0, 8.0]
+        sweep = delay_timer.run_delay_timer_sweep(
+            profile, taus, utilizations=(0.3,),
+            n_servers=8, n_cores=2, duration_s=12.0,
+        )
+        energies = dict(sweep.energy_series(0.3))
+        best = sweep.optimal_tau(0.3)
+        # Interior optimum: both extremes are worse than the best.
+        assert energies[best] < energies[0.0]
+        assert energies[best] < energies[8.0]
+        assert "Fig. 5" in sweep.render()
+
+    def test_active_idle_baseline_never_sleeps(self):
+        point = delay_timer.run_delay_timer_point(
+            None, 0.3, web_search_profile(),
+            n_servers=4, n_cores=2, duration_s=5.0,
+        )
+        assert point.sleep_transitions == 0
+
+
+class TestDualTimerSmoke:
+    def test_dual_beats_active_idle(self):
+        result = dual_timer.run_dual_timer_point(
+            0.3, web_search_profile(), n_servers=6, n_cores=2,
+            duration_s=12.0,
+            single_taus=(0.1, 1.0),
+            pool_fractions=(0.5,),
+            tau_low_values=(0.05,),
+        )
+        assert result.reduction_vs_baseline > 0.05
+        assert result.dual_energy_j <= result.single_energy_j * 1.05
+        assert "save_vs_idle" in result.render()
+
+
+class TestAdaptiveSmoke:
+    def test_residency_shape(self):
+        result = adaptive.run_state_residency(
+            web_search_profile(), utilizations=(0.1, 0.6),
+            n_servers=3, n_cores=4, duration_s=30.0, day_length_s=30.0,
+            t_wakeup=6.0, t_sleep=1.5,
+        )
+        low, high = result.residency[0.1], result.residency[0.6]
+        # Active share grows with utilization.
+        assert high["Active"] > low["Active"]
+        # At low load the farm mostly deep-sleeps.
+        assert low["SysSleep"] > 0.3
+        assert "Fig. 8" in result.render()
+
+    def test_adaptive_saves_vs_delay_timer_and_concentrates(self):
+        result = adaptive.run_energy_breakdown(
+            web_search_profile(), utilization=0.3,
+            n_servers=3, n_cores=4, duration_s=30.0, day_length_s=30.0,
+            t_wakeup=6.0, t_sleep=1.5,
+        )
+        assert result.savings > 0.0
+        # Delay-timer spreads energy nearly uniformly; adaptive concentrates:
+        # its per-server totals vary far more.
+        def spread(rows):
+            totals = [sum(r.values()) for r in rows]
+            return max(totals) - min(totals)
+
+        assert spread(result.adaptive_per_server) > spread(
+            result.delay_timer_per_server
+        )
+        assert "Fig. 9" in result.render()
+
+
+class TestJointSmoke:
+    def test_network_aware_saves_both_powers(self):
+        comparison = joint_energy.run_joint_comparison(
+            utilizations=(0.3,), n_jobs=250, seed=11
+        )
+        assert comparison.saving(0.3, "server") > 0.05
+        assert comparison.saving(0.3, "network") > 0.05
+        aware = comparison.results["network-aware"][0.3]
+        balanced = comparison.results["balanced"][0.3]
+        # Latency penalty stays modest (the paper reports "negligible").
+        assert aware.p95_latency_s < 2.0 * balanced.p95_latency_s
+        assert aware.jobs_completed == 250
+        assert "Fig. 11a" in comparison.render()
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            joint_energy.run_joint_point("magic", 0.3, n_jobs=1)
+
+
+class TestValidationSmoke:
+    def test_server_traces_agree(self):
+        result = validation_server.run_server_validation(
+            duration_s=200.0, mean_rate=80.0
+        )
+        comparison = result.comparison
+        # Mean error small relative to the trace mean; strong correlation.
+        assert comparison.relative_error < 0.05
+        assert comparison.correlation > 0.9
+        assert len(result.simulated_w) == len(result.physical_w)
+        assert "Fig. 12" in result.render()
+
+    def test_switch_traces_agree(self):
+        result = validation_switch.run_switch_validation(
+            n_servers=8, duration_s=600.0, day_length_s=300.0,
+            mean_rate=40.0, sample_interval_s=2.0,
+        )
+        comparison = result.comparison
+        assert comparison.mean_abs_diff_w < 0.25
+        # At this reduced scale few servers sleep/wake, so the port-count
+        # signal is mostly flat and correlation is noise-limited.
+        assert comparison.correlation > 0.5
+        # The biased segment shows the physical switch reading higher.
+        lo, hi = result.bias_segments[0]
+        assert result.segment(lo, hi).mean_diff_w > 0.05
+        assert "Fig. 13" in result.render()
+
+
+class TestScalabilitySmoke:
+    def test_small_scale_run(self):
+        result = scalability.run_scalability(n_servers=500, n_jobs=5_000)
+        assert result.n_jobs == 5_000
+        assert result.events_per_second > 0
+        assert "Table I" in result.render()

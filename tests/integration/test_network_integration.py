@@ -1,0 +1,141 @@
+"""Network integration: DAG jobs over real topologies, conservation checks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import LinkConfig, small_cloud_server
+from repro.core.engine import Engine
+from repro.core.rng import RandomSource
+from repro.jobs.templates import pipeline_job, random_dag_job
+from repro.network.flow import FlowNetwork
+from repro.network.packet import PacketNetwork
+from repro.network.routing import Router
+from repro.network.topology import bcube, camcube, fat_tree, star
+from repro.scheduling.global_scheduler import GlobalScheduler
+from repro.scheduling.policies import RoundRobinPolicy
+from repro.server.server import Server
+
+
+def build(engine, topo, network_cls, **net_kwargs):
+    servers = [
+        Server(engine, small_cloud_server(n_cores=2), server_id=i)
+        for i in range(topo.n_servers)
+    ]
+    network = network_cls(engine, topo, **net_kwargs)
+    scheduler = GlobalScheduler(
+        engine, servers, policy=RoundRobinPolicy(), network=network
+    )
+    return servers, network, scheduler
+
+
+TOPOLOGY_BUILDERS = [
+    ("fat-tree", lambda e: fat_tree(e, 4, link_config=LinkConfig(rate_bps=1e9))),
+    ("bcube", lambda e: bcube(e, 4, 1, link_config=LinkConfig(rate_bps=1e9))),
+    ("camcube", lambda e: camcube(e, 3, link_config=LinkConfig(rate_bps=1e9))),
+    ("star", lambda e: star(e, 16, link_config=LinkConfig(rate_bps=1e9))),
+]
+
+
+class TestDagJobsOverTopologies:
+    @pytest.mark.parametrize("name,builder", TOPOLOGY_BUILDERS)
+    def test_pipeline_jobs_complete_over_flows(self, name, builder):
+        engine = Engine()
+        topo = builder(engine)
+        servers, network, scheduler = build(engine, topo, FlowNetwork)
+        jobs = [
+            pipeline_job([0.01, 0.01], transfer_bytes=1.25e5, arrival_time=0.0)
+            for _ in range(8)
+        ]
+        for job in jobs:
+            scheduler.submit_job(job)
+        engine.run()
+        assert all(job.finished for job in jobs)
+        # Round-robin placed consecutive stages on different servers, so
+        # every job crossed the network.
+        assert network.flows_completed == 8
+
+    def test_pipeline_jobs_complete_over_packets(self):
+        engine = Engine()
+        topo = star(engine, 8, link_config=LinkConfig(rate_bps=1e9))
+        servers, network, scheduler = build(engine, topo, PacketNetwork)
+        jobs = [
+            pipeline_job([0.01, 0.01], transfer_bytes=4.5e3, arrival_time=0.0)
+            for _ in range(5)
+        ]
+        for job in jobs:
+            scheduler.submit_job(job)
+        engine.run()
+        assert all(job.finished for job in jobs)
+        assert network.packets_delivered == 5 * 3  # 4.5 kB / 1.5 kB MTU
+
+
+class TestFlowConservation:
+    @given(
+        n_flows=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=5000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_all_bits_delivered_exactly_once(self, n_flows, seed):
+        import numpy as np
+
+        engine = Engine()
+        topo = fat_tree(engine, 4, link_config=LinkConfig(rate_bps=1e9))
+        network = FlowNetwork(engine, topo)
+        rng = np.random.default_rng(seed)
+        total_bytes = 0.0
+        completions = []
+        for i in range(n_flows):
+            src, dst = rng.choice(16, size=2, replace=False)
+            size = float(rng.integers(1_000, 2_000_000))
+            total_bytes += size
+            start = float(rng.uniform(0, 0.01))
+            engine.schedule_at(
+                start,
+                lambda s=int(src), d=int(dst), z=size: network.transfer(
+                    s, d, z, lambda: completions.append(engine.now)
+                ),
+            )
+        engine.run()
+        assert len(completions) == n_flows
+        assert network.bits_delivered == pytest.approx(total_bytes * 8.0)
+        assert network.active_flow_count == 0
+        # All ports eventually quiesce back to LPI / idle.
+        for switch in topo.switches.values():
+            assert switch.active_port_count() == 0
+
+    def test_flow_times_respect_capacity_lower_bound(self):
+        """No flow can finish faster than size / link rate."""
+        engine = Engine()
+        topo = star(engine, 4, link_config=LinkConfig(rate_bps=1e9))
+        network = FlowNetwork(engine, topo)
+        done = []
+        size = 1.25e7  # 100 Mbit -> >= 0.1 s at 1 Gbps
+        network.transfer(0, 1, size, lambda: done.append(engine.now))
+        network.transfer(2, 3, size, lambda: done.append(engine.now))
+        engine.run()
+        assert all(t >= 0.1 - 1e-9 for t in done)
+
+
+class TestDagWithRandomShapes:
+    @given(seed=st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_dags_always_complete(self, seed):
+        import numpy as np
+
+        engine = Engine()
+        topo = star(engine, 6, link_config=LinkConfig(rate_bps=1e9))
+        servers, network, scheduler = build(engine, topo, FlowNetwork)
+        rng = np.random.default_rng(seed)
+        job = random_dag_job(
+            rng, n_tasks=int(rng.integers(1, 12)), mean_service_s=0.005,
+            transfer_bytes=5e4,
+        )
+        scheduler.submit_job(job)
+        engine.run()
+        assert job.finished
+        # Dependency order was respected end to end.
+        for src, dst, _ in job.edges:
+            assert job.tasks[dst].start_time >= job.tasks[src].finish_time

@@ -1,0 +1,103 @@
+"""Validate the simulated farm against queueing theory.
+
+An M/M/1 and M/M/k farm has closed-form mean waiting times; the simulator
+(engine + server + scheduler + workload stack end to end) must reproduce
+them.  This is the strongest correctness check available for the queueing
+core: any systematic error in event ordering, queue discipline, or service
+timing shows up as a biased mean.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.config import ProcessorConfig, ServerConfig
+from repro.core.rng import RandomSource
+from repro.experiments.common import build_farm, drive
+from repro.scheduling.policies import LeastLoadedPolicy
+from repro.workload.arrivals import PoissonProcess
+from repro.workload.profiles import ExponentialService, SingleTaskJobFactory
+
+
+def plain_server_config(n_cores):
+    """A server with C-state machinery effectively disabled so queueing is
+    textbook (no wake latencies perturbing service times)."""
+    return ServerConfig(
+        processor=ProcessorConfig(
+            n_cores=n_cores,
+            core_c6_timer_s=1e9,
+            package_c6_timer_s=1e9,
+        )
+    )
+
+
+def erlang_c(k: int, offered: float) -> float:
+    """Probability an arrival waits in an M/M/k queue (Erlang C formula)."""
+    summation = sum(offered**n / math.factorial(n) for n in range(k))
+    top = offered**k / (math.factorial(k) * (1 - offered / k))
+    return top / (summation + top)
+
+
+def run_mmk(n_cores: int, rho: float, mu: float, n_jobs: int, seed: int = 3):
+    farm = build_farm(1, plain_server_config(n_cores), policy=LeastLoadedPolicy(), seed=seed)
+    rng = RandomSource(seed)
+    lam = rho * mu * n_cores
+    factory = SingleTaskJobFactory(ExponentialService(1.0 / mu), rng.stream("svc"))
+    drive(farm, PoissonProcess(lam, rng.stream("arr")), factory,
+          max_jobs=n_jobs, drain=True)
+    return farm.scheduler
+
+
+class TestMM1:
+    @pytest.mark.parametrize("rho", [0.3, 0.6])
+    def test_mean_sojourn_matches_theory(self, rho):
+        mu = 100.0
+        scheduler = run_mmk(1, rho, mu, n_jobs=40_000)
+        expected = 1.0 / (mu * (1.0 - rho))  # W = 1/(mu - lambda)
+        assert scheduler.job_latency.mean() == pytest.approx(expected, rel=0.08)
+
+    def test_low_load_sojourn_is_service_time(self):
+        mu = 100.0
+        scheduler = run_mmk(1, 0.05, mu, n_jobs=10_000)
+        assert scheduler.job_latency.mean() == pytest.approx(1.0 / mu, rel=0.08)
+
+
+class TestMMk:
+    @pytest.mark.parametrize("k,rho", [(2, 0.5), (4, 0.6)])
+    def test_mean_wait_matches_erlang_c(self, k, rho):
+        mu = 100.0
+        scheduler = run_mmk(k, rho, mu, n_jobs=40_000)
+        offered = rho * k
+        expected_wait = erlang_c(k, offered) / (k * mu - offered * mu)
+        expected_sojourn = expected_wait + 1.0 / mu
+        assert scheduler.job_latency.mean() == pytest.approx(
+            expected_sojourn, rel=0.10
+        )
+
+    def test_queue_delay_component(self):
+        mu, k, rho = 100.0, 2, 0.7
+        scheduler = run_mmk(k, rho, mu, n_jobs=40_000)
+        offered = rho * k
+        expected_wait = erlang_c(k, offered) / (k * mu - offered * mu)
+        assert scheduler.task_queue_delay.mean() == pytest.approx(
+            expected_wait, rel=0.15
+        )
+
+
+class TestUtilizationIdentity:
+    def test_busy_fraction_matches_rho(self):
+        """Long-run core busy fraction equals offered utilization."""
+        mu, k, rho = 100.0, 4, 0.4
+        farm = build_farm(1, plain_server_config(k), policy=LeastLoadedPolicy(), seed=5)
+        rng = RandomSource(5)
+        lam = rho * mu * k
+        factory = SingleTaskJobFactory(ExponentialService(1.0 / mu), rng.stream("svc"))
+        drive(farm, PoissonProcess(lam, rng.stream("arr")), factory,
+              duration_s=100.0, drain=False)
+        busy = 0.0
+        for core in farm.servers[0].all_cores():
+            residency = core.tracker.residency(100.0)
+            busy += residency.get("C0", 0.0)
+        assert busy / (k * 100.0) == pytest.approx(rho, rel=0.08)

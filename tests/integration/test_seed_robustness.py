@@ -1,0 +1,36 @@
+"""Seed-robustness checks: headline shapes hold across random seeds.
+
+The benches run the paper's experiments at one seed; these tests re-run the
+cheapest shape checks at several seeds so a conclusion cannot hinge on one
+lucky draw.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.delay_timer import run_delay_timer_point
+from repro.experiments.validation_server import run_server_validation
+from repro.workload.profiles import web_search_profile
+
+SEEDS = (2, 11, 23)
+
+
+class TestDelayTimerShapeAcrossSeeds:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sleeping_beats_active_idle_and_tau0_is_bad(self, seed):
+        profile = web_search_profile()
+        scale = dict(n_servers=8, n_cores=2, duration_s=8.0, seed=seed)
+        baseline = run_delay_timer_point(None, 0.3, profile, **scale)
+        zero = run_delay_timer_point(0.0, 0.3, profile, **scale)
+        good = run_delay_timer_point(0.05, 0.3, profile, **scale)
+        assert good.energy_j < baseline.energy_j
+        assert good.energy_j < zero.energy_j
+
+
+class TestValidationAcrossSeeds:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_server_validation_error_stays_small(self, seed):
+        result = run_server_validation(duration_s=150.0, mean_rate=100.0, seed=seed)
+        assert result.comparison.relative_error < 0.06
+        assert result.comparison.correlation > 0.9

@@ -1,0 +1,81 @@
+"""Property-based tests for routing over randomized topologies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import Engine
+from repro.network.routing import Router
+from repro.network.topology import bcube, camcube, fat_tree, flattened_butterfly, star
+
+
+def builders():
+    return {
+        "fat_tree": lambda e: fat_tree(e, 4),
+        "bcube": lambda e: bcube(e, 3, 1),
+        "camcube": lambda e: camcube(e, 3),
+        "butterfly": lambda e: flattened_butterfly(e, 2, 3, 2),
+        "star": lambda e: star(e, 9),
+    }
+
+
+@given(
+    topo_name=st.sampled_from(sorted(builders())),
+    pair_seed=st.integers(min_value=0, max_value=10_000),
+    flow_key=st.text(min_size=0, max_size=8),
+)
+@settings(max_examples=80, deadline=None)
+def test_routes_are_valid_walks(topo_name, pair_seed, flow_key):
+    import numpy as np
+
+    engine = Engine()
+    topo = builders()[topo_name](engine)
+    router = Router(topo)
+    rng = np.random.default_rng(pair_seed)
+    n = topo.n_servers
+    src, dst = rng.choice(n, size=2, replace=False)
+    path = router.route(f"h{src}", f"h{dst}", flow_key=flow_key or None)
+
+    # Endpoints correct.
+    assert path[0] == f"h{src}"
+    assert path[-1] == f"h{dst}"
+    # No repeated nodes (shortest paths are simple).
+    assert len(set(path)) == len(path)
+    # Every hop is an existing link.
+    for u, v in zip(path, path[1:]):
+        topo.link_between(u, v)
+    # Intermediate nodes are switches in switch-based topologies; in
+    # server-only CamCube they are servers doing symbiotic forwarding.
+    if topo_name in ("fat_tree", "star", "butterfly"):
+        for node in path[1:-1]:
+            assert topo.is_switch(node)
+    if topo_name == "camcube":
+        assert topo.n_switches == 0
+
+
+@given(pair_seed=st.integers(min_value=0, max_value=3000))
+@settings(max_examples=30, deadline=None)
+def test_power_aware_route_is_equal_cost(pair_seed):
+    """Power-aware selection picks among *shortest* paths only."""
+    import numpy as np
+
+    engine = Engine()
+    topo = fat_tree(engine, 4)
+    router = Router(topo)
+    rng = np.random.default_rng(pair_seed)
+    src, dst = rng.choice(16, size=2, replace=False)
+    base = router.route(f"h{src}", f"h{dst}")
+    power_aware = router.route_power_aware(f"h{src}", f"h{dst}")
+    assert len(power_aware) == len(base)
+
+
+def test_cache_invalidation():
+    engine = Engine()
+    topo = star(engine, 3)
+    router = Router(topo)
+    router.route("h0", "h1")
+    assert router._cache
+    router.invalidate_cache()
+    assert not router._cache

@@ -1,0 +1,295 @@
+"""Tests for switch/port/linecard power states and the packet network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    LineCardPowerProfile,
+    LinkConfig,
+    PortPowerProfile,
+    SwitchConfig,
+    cisco_2960_switch,
+    datacenter_switch,
+)
+from repro.core.engine import Engine
+from repro.network.packet import PacketNetwork
+from repro.network.routing import Router
+from repro.network.switch import (
+    LineCardState,
+    PortState,
+    Switch,
+    SwitchState,
+)
+from repro.network.topology import Topology, star
+
+
+def quick_switch(engine, **overrides):
+    base = datacenter_switch().to_dict()
+    base.update(overrides)
+    return Switch(engine, SwitchConfig.from_dict(base))
+
+
+class TestPortStates:
+    def test_ports_start_in_lpi(self):
+        engine = Engine()
+        switch = quick_switch(engine)
+        assert all(p.state is PortState.LPI for p in switch.ports)
+
+    def test_activity_raises_port_to_active(self):
+        engine = Engine()
+        switch = quick_switch(engine)
+        port = switch.ports[0]
+        wake = port.begin_activity()
+        assert port.state is PortState.ACTIVE
+        assert wake >= port.profile.lpi_exit_latency_s
+
+    def test_port_returns_to_lpi_after_timer(self):
+        engine = Engine()
+        switch = quick_switch(engine)
+        port = switch.ports[0]
+        port.begin_activity()
+        port.end_activity()
+        assert port.state is PortState.ACTIVE  # timer still pending
+        engine.run(until=port.profile.lpi_timer_s * 2)
+        assert port.state is PortState.LPI
+
+    def test_new_activity_cancels_lpi_timer(self):
+        engine = Engine()
+        switch = quick_switch(engine)
+        port = switch.ports[0]
+        port.begin_activity()
+        port.end_activity()
+        port.begin_activity()
+        engine.run(until=1.0)
+        assert port.state is PortState.ACTIVE
+
+    def test_end_without_begin_raises(self):
+        engine = Engine()
+        switch = quick_switch(engine)
+        with pytest.raises(RuntimeError):
+            switch.ports[0].end_activity()
+
+    def test_power_off_requires_idle(self):
+        engine = Engine()
+        switch = quick_switch(engine)
+        port = switch.ports[0]
+        port.begin_activity()
+        with pytest.raises(RuntimeError):
+            port.power_off()
+        port.end_activity()
+        port.power_off()
+        assert port.state is PortState.OFF
+        assert port.power_w() == port.profile.off_w
+
+    def test_lpi_power_below_active(self):
+        engine = Engine()
+        switch = quick_switch(engine)
+        port = switch.ports[0]
+        lpi_power = port.power_w()
+        port.begin_activity()
+        assert port.power_w() > lpi_power
+
+    def test_rate_factor_scales_active_power(self):
+        engine = Engine()
+        switch = quick_switch(engine)
+        port = switch.ports[0]
+        port.begin_activity()
+        full = port.power_w()
+        port.set_rate_factor(0.1)
+        assert port.power_w() < full
+        with pytest.raises(ValueError):
+            port.set_rate_factor(0.0)
+
+
+class TestLineCardStates:
+    def test_sleeps_when_all_ports_quiet(self):
+        engine = Engine()
+        switch = quick_switch(engine)
+        card = switch.linecards[0]
+        engine.run(until=card.profile.sleep_timer_s * 2)
+        assert card.state is LineCardState.SLEEP
+
+    def test_wake_charged_to_traffic(self):
+        engine = Engine()
+        switch = quick_switch(engine)
+        card = switch.linecards[0]
+        engine.run(until=1.0)
+        assert card.state is LineCardState.SLEEP
+        wake = card.ports[0].begin_activity()
+        assert card.state is LineCardState.ACTIVE
+        assert wake >= card.profile.sleep_exit_latency_s
+
+    def test_stays_awake_with_busy_port(self):
+        engine = Engine()
+        switch = quick_switch(engine)
+        card = switch.linecards[0]
+        card.ports[0].begin_activity()
+        engine.run(until=1.0)
+        assert card.state is LineCardState.ACTIVE
+
+
+class TestSwitchSleep:
+    def test_sleep_refused_with_traffic(self):
+        engine = Engine()
+        switch = quick_switch(engine)
+        switch.ports[0].begin_activity()
+        assert not switch.sleep()
+
+    def test_sleep_powers_down_hierarchy(self):
+        engine = Engine()
+        switch = quick_switch(engine)
+        assert switch.sleep()
+        assert switch.state is SwitchState.SLEEP
+        assert switch.power_w() == pytest.approx(switch.config.sleep_w)
+        assert all(p.state is PortState.OFF for p in switch.ports)
+
+    def test_wake_restores_hierarchy(self):
+        engine = Engine()
+        switch = quick_switch(engine)
+        switch.sleep()
+        ready = []
+        remaining = switch.request_wake(lambda: ready.append(engine.now))
+        assert remaining == pytest.approx(switch.config.wake_latency_s)
+        engine.run()
+        assert switch.state is SwitchState.ON
+        assert ready == [pytest.approx(switch.config.wake_latency_s)]
+        assert all(p.state is PortState.LPI for p in switch.ports)
+
+    def test_wake_on_awake_switch_fires_immediately(self):
+        engine = Engine()
+        switch = quick_switch(engine)
+        ready = []
+        assert switch.request_wake(lambda: ready.append(True)) == 0.0
+        assert ready == [True]
+
+    def test_double_wake_reports_remaining(self):
+        engine = Engine()
+        switch = quick_switch(engine)
+        switch.sleep()
+        switch.request_wake()
+        engine.run(until=switch.config.wake_latency_s / 2)
+        remaining = switch.request_wake()
+        assert remaining == pytest.approx(switch.config.wake_latency_s / 2)
+        assert switch.wake_count == 1
+
+    def test_port_allocation_exhaustion(self):
+        engine = Engine()
+        switch = Switch(engine, datacenter_switch(), n_ports=2)
+        switch.allocate_port()
+        switch.allocate_port()
+        with pytest.raises(RuntimeError):
+            switch.allocate_port()
+
+    def test_linecard_split(self):
+        engine = Engine()
+        switch = Switch(engine, datacenter_switch(ports_per_linecard=8), n_ports=20)
+        assert len(switch.linecards) == 3
+        assert [len(lc.ports) for lc in switch.linecards] == [8, 8, 4]
+
+
+class TestSwitchPowerModel:
+    def test_cisco_idle_power(self):
+        """All 24 ports in LPI: near base power."""
+        engine = Engine()
+        switch = Switch(engine, cisco_2960_switch())
+        expected = 14.7 + 24 * 0.023
+        assert switch.power_w() == pytest.approx(expected, rel=0.01)
+
+    def test_cisco_fully_active_power(self):
+        engine = Engine()
+        switch = Switch(engine, cisco_2960_switch())
+        for port in switch.ports:
+            port.begin_activity()
+        assert switch.power_w() == pytest.approx(14.7 + 24 * 0.23, rel=0.01)
+
+    def test_energy_integrates_over_time(self):
+        engine = Engine()
+        switch = Switch(engine, cisco_2960_switch())
+        for port in switch.ports:
+            port.begin_activity()
+        power = switch.power_w()
+        engine.schedule(100.0, lambda: None)
+        engine.run()
+        assert switch.energy_j() == pytest.approx(power * 100.0, rel=0.01)
+
+
+class TestPacketNetwork:
+    def test_single_packet_delay(self):
+        engine = Engine()
+        topo = star(engine, 2, link_config=LinkConfig(rate_bps=1e9,
+                                                      propagation_delay_s=1e-6))
+        network = PacketNetwork(engine, topo)
+        delivered = []
+        network.send_packet("h0", "h1", 1500, lambda p: delivered.append(engine.now))
+        engine.run()
+        # Two store-and-forward hops: 2 * (12 us tx + 1 us prop), plus LPI
+        # exit latency charged on each initially-idle port.
+        floor = 2 * (1500 * 8 / 1e9 + 1e-6)
+        ceiling = floor + 4 * 5e-6  # at most 4 port wakes on the path
+        assert floor <= delivered[0] <= ceiling
+
+    def test_queueing_delay_accumulates(self):
+        engine = Engine()
+        topo = star(engine, 2, link_config=LinkConfig(rate_bps=1e6))
+        network = PacketNetwork(engine, topo)
+        delivered = []
+        for _ in range(3):
+            network.send_packet("h0", "h1", 1250, lambda p: delivered.append(engine.now))
+        engine.run()
+        # Each packet takes 10 ms per hop at 1 Mbps; they serialise on hop 1.
+        assert delivered[1] - delivered[0] == pytest.approx(0.01, rel=0.05)
+        assert delivered[2] - delivered[1] == pytest.approx(0.01, rel=0.05)
+
+    def test_transfer_packetizes_and_calls_back_once(self):
+        engine = Engine()
+        topo = star(engine, 2)
+        network = PacketNetwork(engine, topo, mtu_bytes=1000)
+        done = []
+        network.transfer(0, 1, 2500, lambda: done.append(engine.now))
+        engine.run()
+        assert len(done) == 1
+        assert network.packets_delivered == 3
+
+    def test_same_server_transfer(self):
+        engine = Engine()
+        network = PacketNetwork(engine, star(engine, 2))
+        done = []
+        network.transfer(0, 0, 5000, lambda: done.append(engine.now))
+        engine.run()
+        assert done == [0.0]
+        assert network.packets_delivered == 0
+
+    def test_finite_buffer_drops(self):
+        engine = Engine()
+        topo = star(engine, 2, link_config=LinkConfig(rate_bps=1e6))
+        network = PacketNetwork(engine, topo, max_queue_packets=2)
+        for _ in range(10):
+            network.send_packet("h0", "h1", 1250)
+        engine.run()
+        assert network.packets_dropped > 0
+        assert network.packets_delivered + network.packets_dropped == 10
+
+    def test_packet_delay_collector(self):
+        engine = Engine()
+        network = PacketNetwork(engine, star(engine, 2))
+        network.send_packet("h0", "h1", 1500)
+        engine.run()
+        assert len(network.packet_delay) == 1
+
+    def test_invalid_packet_size(self):
+        engine = Engine()
+        network = PacketNetwork(engine, star(engine, 2))
+        with pytest.raises(ValueError):
+            network.send_packet("h0", "h1", 0)
+
+    def test_packets_drive_port_power(self):
+        engine = Engine()
+        topo = star(engine, 2, link_config=LinkConfig(rate_bps=1e6))
+        network = PacketNetwork(engine, topo)
+        switch = topo.switches["sw0"]
+        network.send_packet("h0", "h1", 12500)  # 100 ms at 1 Mbps
+        engine.run(until=0.05)
+        assert switch.active_port_count() >= 1
+        engine.run(until=10.0)
+        assert switch.active_port_count() == 0

@@ -1,0 +1,152 @@
+"""Tests for the joint server-network energy manager (§IV-D)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import LinkConfig
+from repro.core.engine import Engine
+from repro.jobs.templates import single_task_job
+from repro.network.routing import Router
+from repro.network.topology import fat_tree
+from repro.power.joint import JointEnergyManager, SwitchSleepController
+from repro.server.server import Server
+from repro.server.states import SystemState
+
+
+def make_setup(fast_sleep_config, mode="network-aware", n_servers=16, **kwargs):
+    engine = Engine()
+    topo = fat_tree(engine, 4, link_config=LinkConfig(rate_bps=1e9))
+    servers = [Server(engine, fast_sleep_config, server_id=i) for i in range(n_servers)]
+    router = Router(topo)
+    manager = JointEnergyManager(
+        engine, servers, topo, router=router, mode=mode, **kwargs
+    )
+    return engine, topo, servers, router, manager
+
+
+def task():
+    t = single_task_job(0.5).tasks[0]
+    t.ready_time = 0.0
+    return t
+
+
+class TestModes:
+    def test_invalid_mode(self, fast_sleep_config):
+        with pytest.raises(ValueError):
+            make_setup(fast_sleep_config, mode="hybrid")
+
+    def test_balanced_keeps_everything_eligible(self, fast_sleep_config):
+        _, _, servers, _, manager = make_setup(fast_sleep_config, mode="balanced")
+        assert manager.eligible_servers() == servers
+        assert manager.switch_controller is None
+
+    def test_balanced_selects_least_loaded(self, fast_sleep_config):
+        _, _, servers, _, manager = make_setup(fast_sleep_config, mode="balanced")
+        servers[0].submit_task(task())
+        pick = manager.select_server(task(), servers)
+        assert pick is servers[1]
+
+    def test_network_aware_starts_all_active_by_default(self, fast_sleep_config):
+        _, _, servers, _, manager = make_setup(fast_sleep_config)
+        assert len(manager.active_order) == len(servers)
+
+    def test_initial_active_bound(self, fast_sleep_config):
+        _, _, servers, _, manager = make_setup(fast_sleep_config, initial_active=2)
+        assert len(manager.active_order) == 2
+
+
+class TestConsolidation:
+    def test_packs_first_active_server(self, fast_sleep_config):
+        _, _, servers, _, manager = make_setup(fast_sleep_config, initial_active=4)
+        pick = manager.select_server(task(), servers)
+        assert pick is manager.active_order[0]
+
+    def test_scale_down_sheds_idle_servers(self, fast_sleep_config):
+        engine, _, servers, _, manager = make_setup(
+            fast_sleep_config, initial_active=6, tau_s=0.1,
+            scale_down_interval_s=0.1,
+        )
+        manager.start()
+        engine.run(until=10.0)
+        assert len(manager.active_order) == 1
+        # Shed servers eventually reach deep sleep via their delay timers.
+        parked = [s for s in servers if s not in manager.active_order]
+        sleeping = [s for s in parked if s.system_state is SystemState.S3]
+        assert len(sleeping) >= 5
+
+    def test_saturation_activates_new_server(self, fast_sleep_config):
+        engine, _, servers, _, manager = make_setup(
+            fast_sleep_config, initial_active=1
+        )
+        active = manager.active_order[0]
+        # Fill the active server's cores (2 in the fast config).
+        for _ in range(2):
+            active.submit_task(task())
+        before = len(manager.active_order)
+        manager.select_server(task(), servers)
+        assert len(manager.active_order) == before + 1
+        assert manager.activations >= 1
+
+
+class TestNetworkCost:
+    def test_cost_zero_when_all_switches_on(self, fast_sleep_config):
+        _, _, servers, _, manager = make_setup(fast_sleep_config, initial_active=1)
+        assert manager.network_cost(servers[8]) == 0
+
+    def test_prefers_server_behind_awake_switches(self, fast_sleep_config):
+        engine, topo, servers, router, manager = make_setup(
+            fast_sleep_config, initial_active=1
+        )
+        # Active server is h0 (pod 0).  Put pod 3's edge+agg switches asleep:
+        # activating a pod-3 server now costs switch wakes.
+        for name, switch in topo.switches.items():
+            if name.startswith(("edge-3", "agg-3")):
+                assert switch.sleep()
+        pod0_candidate = servers[1]   # same edge switch as h0
+        pod3_candidate = servers[15]
+        assert manager.network_cost(pod0_candidate) == 0
+        assert manager.network_cost(pod3_candidate) >= 2
+        # Saturate the active server, then the manager should pick a pod-0
+        # server (zero wake cost) over pod-3 ones.
+        for _ in range(2):
+            manager.active_order[0].submit_task(task())
+        pick = manager.select_server(task(), servers)
+        new = manager.active_order[-1]
+        assert manager.network_cost(new) == 0
+
+
+class TestSwitchSleepController:
+    def test_parks_idle_switches(self, fast_sleep_config):
+        engine = Engine()
+        topo = fat_tree(engine, 4)
+        controller = SwitchSleepController(
+            engine, topo, idle_threshold_s=0.5, scan_interval_s=0.1
+        )
+        controller.start()
+        engine.run(until=2.0)
+        assert all(not sw.is_on for sw in topo.switches.values())
+
+    def test_respects_always_on(self, fast_sleep_config):
+        engine = Engine()
+        topo = fat_tree(engine, 4)
+        controller = SwitchSleepController(
+            engine, topo, idle_threshold_s=0.5, scan_interval_s=0.1,
+            always_on=["core-0-0"],
+        )
+        controller.start()
+        engine.run(until=2.0)
+        assert topo.switches["core-0-0"].is_on
+
+    def test_busy_switch_stays_on(self, fast_sleep_config):
+        engine = Engine()
+        topo = fat_tree(engine, 4)
+        # Hold traffic on edge-0-0's first port.
+        port = topo.switches["edge-0-0"].ports[0]
+        port.begin_activity()
+        controller = SwitchSleepController(
+            engine, topo, idle_threshold_s=0.5, scan_interval_s=0.1
+        )
+        controller.start()
+        engine.run(until=2.0)
+        assert topo.switches["edge-0-0"].is_on

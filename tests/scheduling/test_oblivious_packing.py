@@ -1,0 +1,69 @@
+"""Tests for the power-oblivious packing policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import small_cloud_server
+from repro.core.engine import Engine
+from repro.jobs.templates import single_task_job
+from repro.scheduling.policies import PackingPolicy, PowerObliviousPackingPolicy
+from repro.server.server import Server
+from repro.server.states import SystemState
+
+
+@pytest.fixture
+def farm(fast_sleep_config):
+    engine = Engine()
+    servers = [Server(engine, fast_sleep_config, server_id=i) for i in range(3)]
+    return engine, servers
+
+
+def make_task():
+    return single_task_job(0.01).tasks[0]
+
+
+def occupy(server, n):
+    for _ in range(n):
+        task = single_task_job(100.0).tasks[0]
+        task.ready_time = server.engine.now
+        server.submit_task(task)
+
+
+class TestPowerObliviousPacking:
+    def test_first_fit_by_capacity(self, farm):
+        _, servers = farm
+        policy = PowerObliviousPackingPolicy()
+        assert policy.select_server(make_task(), servers) is servers[0]
+        occupy(servers[0], 2)
+        assert policy.select_server(make_task(), servers) is servers[1]
+
+    def test_routes_to_sleeping_server(self, farm):
+        """The defining difference: a sleeping server with free capacity
+        still receives work (and will be woken by the arrival)."""
+        engine, servers = farm
+        servers[0].sleep("s3")
+        engine.run(until=0.02)
+        assert servers[0].system_state is SystemState.S3
+        pick = PowerObliviousPackingPolicy().select_server(make_task(), servers)
+        assert pick is servers[0]
+        # Power-aware packing would have skipped it.
+        aware = PackingPolicy().select_server(make_task(), servers)
+        assert aware is servers[1]
+
+    def test_overflow_goes_least_loaded(self, farm):
+        _, servers = farm
+        occupy(servers[0], 4)
+        occupy(servers[1], 3)
+        occupy(servers[2], 2)
+        pick = PowerObliviousPackingPolicy().select_server(make_task(), servers)
+        assert pick is servers[2]
+
+    def test_custom_order(self, farm):
+        _, servers = farm
+        policy = PowerObliviousPackingPolicy(order=lambda: list(reversed(servers)))
+        assert policy.select_server(make_task(), servers) is servers[2]
+
+    def test_empty_candidates(self, farm):
+        _, servers = farm
+        assert PowerObliviousPackingPolicy().select_server(make_task(), []) is None

@@ -1,0 +1,127 @@
+"""Tests for dispatch policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import small_cloud_server
+from repro.core.engine import Engine
+from repro.jobs.templates import single_task_job
+from repro.scheduling.policies import (
+    CapacityGatedPolicy,
+    LeastLoadedPolicy,
+    PackingPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+)
+from repro.server.server import Server
+
+
+@pytest.fixture
+def farm():
+    engine = Engine()
+    servers = [Server(engine, small_cloud_server(n_cores=2), server_id=i) for i in range(4)]
+    return engine, servers
+
+
+def make_task():
+    return single_task_job(0.01).tasks[0]
+
+
+def occupy(server, n, service=100.0):
+    for _ in range(n):
+        task = single_task_job(service).tasks[0]
+        task.ready_time = server.engine.now
+        server.submit_task(task)
+
+
+class TestRoundRobin:
+    def test_cycles_through_servers(self, farm):
+        _, servers = farm
+        policy = RoundRobinPolicy()
+        picks = [policy.select_server(make_task(), servers) for _ in range(8)]
+        assert [s.server_id for s in picks] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_empty_candidates(self, farm):
+        assert RoundRobinPolicy().select_server(make_task(), []) is None
+
+
+class TestLeastLoaded:
+    def test_picks_min_pending(self, farm):
+        _, servers = farm
+        occupy(servers[0], 3)
+        occupy(servers[1], 1)
+        occupy(servers[2], 2)
+        pick = LeastLoadedPolicy().select_server(make_task(), servers)
+        assert pick is servers[3]
+
+    def test_tie_breaks_by_id(self, farm):
+        _, servers = farm
+        pick = LeastLoadedPolicy().select_server(make_task(), servers)
+        assert pick is servers[0]
+
+
+class TestRandom:
+    def test_uniformish(self, farm):
+        _, servers = farm
+        policy = RandomPolicy(np.random.default_rng(0))
+        counts = {s.server_id: 0 for s in servers}
+        for _ in range(400):
+            counts[policy.select_server(make_task(), servers).server_id] += 1
+        assert all(count > 50 for count in counts.values())
+
+
+class TestPacking:
+    def test_fills_first_server_first(self, farm):
+        _, servers = farm
+        policy = PackingPolicy()
+        pick = policy.select_server(make_task(), servers)
+        assert pick is servers[0]
+        occupy(servers[0], 2)  # both cores busy
+        pick = policy.select_server(make_task(), servers)
+        assert pick is servers[1]
+
+    def test_falls_back_to_least_loaded_when_full(self, farm):
+        _, servers = farm
+        for server in servers:
+            occupy(server, 2)
+        occupy(servers[0], 2)  # extra queue on server 0
+        pick = PackingPolicy().select_server(make_task(), servers)
+        assert pick is not servers[0]
+
+    def test_respects_custom_order(self, farm):
+        _, servers = farm
+        order = [servers[2], servers[0], servers[1], servers[3]]
+        policy = PackingPolicy(order=lambda: order)
+        pick = policy.select_server(make_task(), servers)
+        assert pick is servers[2]
+
+    def test_order_filtered_by_candidates(self, farm):
+        _, servers = farm
+        policy = PackingPolicy(order=lambda: list(servers))
+        pick = policy.select_server(make_task(), servers[2:])
+        assert pick is servers[2]
+
+    def test_skips_sleeping_servers(self, farm):
+        engine, servers = farm
+        servers[0].sleep("s3")
+        engine.run(until=servers[0].config.platform.s3_entry_latency_s + 0.1)
+        pick = PackingPolicy().select_server(make_task(), servers)
+        assert pick is servers[1]
+
+
+class TestCapacityGated:
+    def test_returns_none_when_no_capacity(self, farm):
+        _, servers = farm
+        for server in servers:
+            occupy(server, 2)
+        policy = CapacityGatedPolicy(LeastLoadedPolicy())
+        assert policy.select_server(make_task(), servers) is None
+
+    def test_delegates_when_capacity_exists(self, farm):
+        _, servers = farm
+        occupy(servers[0], 2)
+        policy = CapacityGatedPolicy(LeastLoadedPolicy())
+        pick = policy.select_server(make_task(), servers)
+        assert pick is not None and pick is not servers[0]

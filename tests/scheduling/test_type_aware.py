@@ -1,0 +1,118 @@
+"""Tests for type-aware dispatch and multi-socket servers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ProcessorConfig, ServerConfig, small_cloud_server
+from repro.core.engine import Engine
+from repro.jobs.templates import two_tier_job
+from repro.scheduling.global_scheduler import GlobalScheduler
+from repro.scheduling.policies import LeastLoadedPolicy, TypeAwarePolicy
+from repro.server.server import Server
+
+
+class TestTypeAwarePolicy:
+    def _tiered_farm(self):
+        engine = Engine()
+        app = Server(engine, small_cloud_server(), server_id=0)
+        app.tags["serves"] = {"app"}
+        db = Server(engine, small_cloud_server(), server_id=1)
+        db.tags["serves"] = {"db"}
+        anything = Server(engine, small_cloud_server(), server_id=2)
+        return engine, [app, db, anything]
+
+    def test_routes_by_task_type(self):
+        engine, servers = self._tiered_farm()
+        scheduler = GlobalScheduler(
+            engine, servers, policy=TypeAwarePolicy(LeastLoadedPolicy())
+        )
+        job = two_tier_job(0.01, 0.01, transfer_bytes=0)
+        scheduler.submit_job(job)
+        engine.run()
+        assert job.finished
+        app_task, db_task = job.tasks
+        assert app_task.server_id in (0, 2)   # app-capable servers
+        assert db_task.server_id in (1, 2)    # db-capable servers
+
+    def test_untyped_server_accepts_everything(self):
+        engine, servers = self._tiered_farm()
+        policy = TypeAwarePolicy(LeastLoadedPolicy())
+        job = two_tier_job(0.01, 0.01)
+        app_task = job.tasks[0]
+        # Only the untagged server and the app server are capable.
+        pick = policy.select_server(app_task, servers)
+        assert pick.server_id in (0, 2)
+
+    def test_no_capable_server_returns_none(self):
+        engine, servers = self._tiered_farm()
+        policy = TypeAwarePolicy(LeastLoadedPolicy())
+        job = two_tier_job(0.01, 0.01)
+        job.tasks[0].task_type = "cache"
+        pick = policy.select_server(job.tasks[0], servers[:2])
+        assert pick is None
+
+    def test_tiered_pipeline_with_global_queue(self):
+        """Type-gated dispatch composes with the global task queue."""
+        engine, servers = self._tiered_farm()
+        scheduler = GlobalScheduler(
+            engine,
+            servers[:2],  # only the strictly-typed servers
+            policy=TypeAwarePolicy(LeastLoadedPolicy()),
+            use_global_queue=True,
+        )
+        jobs = [two_tier_job(0.01, 0.01, transfer_bytes=0) for _ in range(10)]
+        for job in jobs:
+            scheduler.submit_job(job)
+        engine.run()
+        assert all(job.finished for job in jobs)
+        # Strict separation held throughout.
+        for job in jobs:
+            assert job.tasks[0].server_id == 0
+            assert job.tasks[1].server_id == 1
+
+
+class TestMultiSocket:
+    def test_two_sockets_double_capacity(self):
+        engine = Engine()
+        config = ServerConfig(
+            n_sockets=2, processor=ProcessorConfig(n_cores=2)
+        )
+        server = Server(engine, config)
+        assert server.total_cores == 4
+        assert len(server.processors) == 2
+        assert len(server.all_cores()) == 4
+
+    def test_tasks_spread_across_sockets(self):
+        from repro.jobs.templates import single_task_job
+
+        engine = Engine()
+        config = ServerConfig(n_sockets=2, processor=ProcessorConfig(n_cores=1))
+        server = Server(engine, config)
+        for _ in range(2):
+            task = single_task_job(1.0).tasks[0]
+            task.ready_time = 0.0
+            server.submit_task(task)
+        assert server.running_task_count == 2
+        assert all(p.busy_core_count == 1 for p in server.processors)
+
+    def test_socket_power_sums(self):
+        engine = Engine()
+        one = Server(engine, ServerConfig(n_sockets=1,
+                                          processor=ProcessorConfig(n_cores=2)))
+        two = Server(engine, ServerConfig(n_sockets=2,
+                                          processor=ProcessorConfig(n_cores=2)))
+        assert two.cpu_power_w == pytest.approx(2 * one.cpu_power_w)
+
+    def test_per_socket_dvfs(self):
+        engine = Engine()
+        config = ServerConfig(
+            n_sockets=2,
+            processor=ProcessorConfig(
+                n_cores=1, available_frequencies_ghz=(1.2, 2.8)
+            ),
+        )
+        server = Server(engine, config)
+        server.processors[0].set_frequency(1.2)
+        assert server.processors[0].frequency_ghz == 1.2
+        assert server.processors[1].frequency_ghz == 2.8

@@ -1,0 +1,229 @@
+"""Tests for cores (C-states, DVFS, heterogeneity) and processors (PC6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CorePowerProfile, ProcessorConfig
+from repro.core.engine import Engine
+from repro.jobs.templates import single_task_job
+from repro.server.processor import Processor
+from repro.server.states import CoreState, PackageState
+
+
+def make_processor(engine, **overrides):
+    defaults = dict(n_cores=2, core_c6_timer_s=0.01, package_c6_timer_s=0.02)
+    defaults.update(overrides)
+    return Processor(engine, ProcessorConfig(**defaults))
+
+
+def run_task(engine, processor, service_s, core_index=0, extra_delay=0.0):
+    task = single_task_job(service_s).tasks[0]
+    finish_at = processor.cores[core_index].assign(task, extra_start_delay=extra_delay)
+    return task, finish_at
+
+
+class TestCoreExecution:
+    def test_task_runs_for_service_time(self):
+        engine = Engine()
+        processor = make_processor(engine)
+        task, finish_at = run_task(engine, processor, 0.5)
+        assert finish_at == pytest.approx(0.5)
+        engine.run()
+        assert task.finish_time == pytest.approx(0.5)
+        assert processor.cores[0].tasks_completed == 1
+
+    def test_busy_core_rejects_second_task(self):
+        engine = Engine()
+        processor = make_processor(engine)
+        run_task(engine, processor, 0.5)
+        with pytest.raises(RuntimeError):
+            run_task(engine, processor, 0.5)
+
+    def test_core_returns_to_c1_then_c6(self):
+        engine = Engine()
+        processor = make_processor(engine)
+        run_task(engine, processor, 0.5)
+        engine.run(until=0.505)
+        assert processor.cores[0].state is CoreState.C1
+        engine.run(until=1.0)
+        assert processor.cores[0].state is CoreState.C6
+
+    def test_c6_wake_latency_delays_completion(self):
+        engine = Engine()
+        processor = make_processor(engine)
+        engine.run(until=1.0)  # let core 0 drop to C6
+        assert processor.cores[0].state is CoreState.C6
+        task, finish_at = run_task(engine, processor, 0.5)
+        expected = 1.0 + 0.5 + processor.config.core_profile.c6_exit_latency_s
+        assert finish_at == pytest.approx(expected)
+
+    def test_extra_start_delay_added(self):
+        engine = Engine()
+        processor = make_processor(engine)
+        _, finish_at = run_task(engine, processor, 0.5, extra_delay=0.25)
+        assert finish_at == pytest.approx(0.75)
+
+    def test_compute_intensity_scales_with_frequency(self):
+        engine = Engine()
+        processor = make_processor(
+            engine,
+            frequency_ghz=1.4,
+            nominal_frequency_ghz=2.8,
+            available_frequencies_ghz=(1.4, 2.8),
+        )
+        core = processor.cores[0]
+        fully_compute = single_task_job(1.0).tasks[0]
+        assert core.execution_time(fully_compute) == pytest.approx(2.0)
+        memory_bound = single_task_job(1.0, compute_intensity=0.0).tasks[0]
+        assert core.execution_time(memory_bound) == pytest.approx(1.0)
+        half = single_task_job(1.0, compute_intensity=0.5).tasks[0]
+        assert core.execution_time(half) == pytest.approx(1.5)
+
+    def test_heterogeneous_speed_factor(self):
+        engine = Engine()
+        processor = make_processor(engine, core_speed_factors=(1.0, 2.0))
+        slow, fast = processor.cores
+        task = single_task_job(1.0).tasks[0]
+        assert slow.execution_time(task) == pytest.approx(1.0)
+        assert fast.execution_time(task) == pytest.approx(0.5)
+
+    def test_available_cores_prefers_fast(self):
+        engine = Engine()
+        processor = make_processor(engine, core_speed_factors=(1.0, 2.0))
+        assert processor.available_cores()[0].speed_factor == 2.0
+
+    def test_preempt_restores_task(self):
+        engine = Engine()
+        processor = make_processor(engine)
+        task, _ = run_task(engine, processor, 0.5)
+        preempted = processor.cores[0].preempt()
+        assert preempted is task
+        assert task.start_time is None
+        engine.run()
+        assert task.finish_time is None
+        assert processor.cores[0].tasks_completed == 0
+
+    def test_preempt_idle_returns_none(self):
+        engine = Engine()
+        processor = make_processor(engine)
+        assert processor.cores[0].preempt() is None
+
+
+class TestDvfs:
+    def test_set_frequency_validates_p_state(self):
+        engine = Engine()
+        processor = make_processor(engine, available_frequencies_ghz=(1.2, 2.8))
+        with pytest.raises(ValueError):
+            processor.set_frequency(1.7)
+        processor.set_frequency(1.2)
+        assert processor.frequency_ghz == 1.2
+
+    def test_lower_frequency_slows_compute(self):
+        engine = Engine()
+        processor = make_processor(
+            engine, available_frequencies_ghz=(1.4, 2.8), frequency_ghz=2.8
+        )
+        task = single_task_job(1.0).tasks[0]
+        base = processor.cores[0].execution_time(task)
+        processor.set_frequency(1.4)
+        assert processor.cores[0].execution_time(task) == pytest.approx(2 * base)
+
+    def test_lower_frequency_cuts_active_power(self):
+        engine = Engine()
+        processor = make_processor(
+            engine, available_frequencies_ghz=(1.4, 2.8), frequency_ghz=2.8
+        )
+        core = processor.cores[0]
+        run_task(engine, processor, 10.0)
+        high = core.power_w()
+        processor.set_frequency(1.4)
+        low = core.power_w()
+        profile = processor.config.core_profile
+        assert low == pytest.approx(high * 0.5**profile.dvfs_exponent)
+
+
+class TestPackageC6:
+    def test_package_enters_pc6_when_all_cores_c6(self):
+        engine = Engine()
+        processor = make_processor(engine)
+        engine.run(until=0.05)
+        assert processor.package_state is PackageState.PC6
+
+    def test_package_stays_pc0_with_busy_core(self):
+        engine = Engine()
+        processor = make_processor(engine)
+        run_task(engine, processor, 10.0, core_index=0)
+        engine.run(until=1.0)
+        assert processor.package_state is PackageState.PC0
+
+    def test_prepare_dispatch_charges_pc6_exit(self):
+        engine = Engine()
+        processor = make_processor(engine)
+        engine.run(until=0.05)
+        assert processor.package_state is PackageState.PC6
+        delay = processor.prepare_dispatch()
+        assert delay == pytest.approx(
+            processor.config.package_profile.pc6_exit_latency_s
+        )
+        assert processor.package_state is PackageState.PC0
+
+    def test_prepare_dispatch_free_when_pc0(self):
+        engine = Engine()
+        processor = make_processor(engine)
+        assert processor.prepare_dispatch() == 0.0
+
+    def test_disallowed_package_c6(self):
+        engine = Engine()
+        processor = Processor(
+            engine,
+            ProcessorConfig(n_cores=1, core_c6_timer_s=0.01, package_c6_timer_s=0.02),
+            allow_package_c6=False,
+        )
+        engine.run(until=1.0)
+        assert processor.package_state is PackageState.PC0
+
+    def test_force_sleep_requires_idle(self):
+        engine = Engine()
+        processor = make_processor(engine)
+        run_task(engine, processor, 10.0)
+        with pytest.raises(RuntimeError):
+            processor.force_sleep()
+
+    def test_force_sleep_and_wake(self):
+        engine = Engine()
+        processor = make_processor(engine)
+        processor.force_sleep()
+        assert processor.package_state is PackageState.PC6
+        assert all(c.state is CoreState.C6 for c in processor.cores)
+        processor.wake_from_sleep()
+        assert processor.package_state is PackageState.PC0
+        assert all(c.state is CoreState.C1 for c in processor.cores)
+
+
+class TestPower:
+    def test_power_hierarchy_levels(self):
+        engine = Engine()
+        profile = CorePowerProfile(active_w=10.0, c1_w=2.0, c6_w=0.5)
+        processor = Processor(
+            engine,
+            ProcessorConfig(
+                n_cores=2,
+                core_profile=profile,
+                core_c6_timer_s=0.01,
+                package_c6_timer_s=0.02,
+            ),
+        )
+        pkg = processor.config.package_profile
+        # Both cores idle (C1) initially.
+        assert processor.power_w() == pytest.approx(pkg.pc0_w + 2 * 2.0)
+        run_task(engine, processor, 10.0)
+        assert processor.power_w() == pytest.approx(pkg.pc0_w + 10.0 + 2.0)
+
+    def test_pc6_power_floor(self):
+        engine = Engine()
+        processor = make_processor(engine)
+        engine.run(until=0.1)
+        pkg = processor.config.package_profile
+        core = processor.config.core_profile
+        assert processor.power_w() == pytest.approx(pkg.pc6_w + 2 * core.c6_w)

@@ -1,0 +1,119 @@
+"""Tests for the unified vs per-core local schedulers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ProcessorConfig, ServerConfig
+from repro.core.engine import Engine
+from repro.jobs.templates import single_task_job
+from repro.server.local_scheduler import make_local_scheduler
+from repro.server.server import Server
+
+
+def config_with(queue_policy, n_cores=2, speed_factors=None):
+    return ServerConfig(
+        processor=ProcessorConfig(n_cores=n_cores, core_speed_factors=speed_factors),
+        queue_policy=queue_policy,
+    )
+
+
+def submit_n(server, n, service_s=1.0):
+    tasks = []
+    for _ in range(n):
+        task = single_task_job(service_s).tasks[0]
+        task.ready_time = server.engine.now
+        server.submit_task(task)
+        tasks.append(task)
+    return tasks
+
+
+class TestFactory:
+    def test_unknown_policy_raises(self):
+        engine = Engine()
+        server = Server(engine, config_with("unified"))
+        with pytest.raises(ValueError):
+            make_local_scheduler(server, "lifo")
+
+
+class TestUnifiedQueue:
+    def test_work_conserving(self):
+        engine = Engine()
+        server = Server(engine, config_with("unified"))
+        tasks = submit_n(server, 4, 1.0)
+        engine.run()
+        # 4 tasks on 2 cores, 1 s each: makespan 2 s.
+        assert max(t.finish_time for t in tasks) == pytest.approx(2.0, abs=0.01)
+
+    def test_fifo_order(self):
+        engine = Engine()
+        server = Server(engine, config_with("unified", n_cores=1))
+        tasks = submit_n(server, 3, 1.0)
+        engine.run()
+        starts = [t.start_time for t in tasks]
+        assert starts == sorted(starts)
+
+    def test_drain_returns_queued_tasks(self):
+        engine = Engine()
+        server = Server(engine, config_with("unified"))
+        submit_n(server, 5, 1.0)
+        drained = server.local_scheduler.drain()
+        assert len(drained) == 3  # 2 running, 3 queued
+        assert server.queued_task_count == 0
+
+    def test_prefers_fast_core(self):
+        engine = Engine()
+        server = Server(engine, config_with("unified", speed_factors=(1.0, 3.0)))
+        task = submit_n(server, 1, 1.0)[0]
+        engine.run()
+        # The fast core (speed 3) should have been chosen.
+        assert task.finish_time == pytest.approx(1.0 / 3.0, abs=0.01)
+
+
+class TestPerCoreQueue:
+    def test_head_of_line_blocking(self):
+        """A long task blocks its core's queue even if the other core frees."""
+        engine = Engine()
+        server = Server(engine, config_with("per_core"))
+        long_task = single_task_job(10.0).tasks[0]
+        long_task.ready_time = 0.0
+        server.submit_task(long_task)
+        short = submit_n(server, 3, 1.0)
+        engine.run()
+        finishes = sorted(t.finish_time for t in short)
+        # JSQ put 2 short tasks behind the empty core and 1 behind the long
+        # task; that one cannot migrate and finishes after the long task.
+        assert finishes[-1] == pytest.approx(11.0, abs=0.01)
+
+    def test_unified_avoids_blocking_in_same_scenario(self):
+        engine = Engine()
+        server = Server(engine, config_with("unified"))
+        long_task = single_task_job(10.0).tasks[0]
+        long_task.ready_time = 0.0
+        server.submit_task(long_task)
+        short = submit_n(server, 3, 1.0)
+        engine.run()
+        # Work conserving: all short tasks run back-to-back on the free core.
+        assert max(t.finish_time for t in short) == pytest.approx(3.0, abs=0.01)
+
+    def test_all_tasks_complete(self):
+        engine = Engine()
+        server = Server(engine, config_with("per_core"))
+        tasks = submit_n(server, 10, 0.1)
+        engine.run()
+        assert all(t.finish_time is not None for t in tasks)
+
+    def test_queued_count(self):
+        engine = Engine()
+        server = Server(engine, config_with("per_core"))
+        submit_n(server, 6, 1.0)
+        assert server.queued_task_count == 4
+        assert server.running_task_count == 2
+
+    def test_drain(self):
+        engine = Engine()
+        server = Server(engine, config_with("per_core"))
+        submit_n(server, 6, 1.0)
+        drained = server.local_scheduler.drain()
+        assert len(drained) == 4
+        assert server.queued_task_count == 0

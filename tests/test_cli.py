@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_delay_timer_defaults(self):
+        args = build_parser().parse_args(["delay-timer"])
+        assert args.workload == "web-search"
+        assert 0.0 in args.taus
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["delay-timer", "--workload", "hpc"])
+
+    def test_tau_list_parsing(self):
+        args = build_parser().parse_args(
+            ["delay-timer", "--taus", "0", "0.5", "2"]
+        )
+        assert args.taus == [0.0, 0.5, 2.0]
+
+
+class TestExecution:
+    def test_provisioning_smoke(self, capsys):
+        main([
+            "provisioning", "--servers", "4", "--duration", "10",
+            "--rate", "150", "--day-length", "5",
+        ])
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+
+    def test_delay_timer_smoke(self, capsys):
+        main([
+            "delay-timer", "--taus", "0", "1", "--utilizations", "0.3",
+            "--servers", "4", "--duration", "3",
+        ])
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out
+        assert "optimal tau" in out
+
+    def test_scalability_smoke(self, capsys):
+        main(["scalability", "--servers", "100", "--jobs", "500"])
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_validate_server_smoke(self, capsys):
+        main(["validate-server", "--duration", "60", "--rate", "50"])
+        out = capsys.readouterr().out
+        assert "Fig. 12" in out
+
+    def test_joint_smoke(self, capsys):
+        main(["joint", "--jobs", "50", "--utilizations", "0.3"])
+        out = capsys.readouterr().out
+        assert "Fig. 11a" in out
+
+
+class TestTraceCommands:
+    def test_make_trace_and_replay(self, capsys, tmp_path):
+        out = tmp_path / "trace.txt"
+        main([
+            "make-trace", "--style", "nlanr", "--duration", "30",
+            "--rate", "40", "--out", str(out),
+        ])
+        assert "wrote" in capsys.readouterr().out
+        assert out.exists()
+        main([
+            "provisioning", "--servers", "4", "--duration", "20",
+            "--trace", str(out), "--day-length", "10",
+        ])
+        assert "Fig. 4" in capsys.readouterr().out
+
+    def test_make_trace_wikipedia_style(self, capsys, tmp_path):
+        out = tmp_path / "wiki.txt"
+        main([
+            "make-trace", "--style", "wikipedia", "--duration", "40",
+            "--rate", "30", "--day-length", "20", "--out", str(out),
+        ])
+        text = out.read_text()
+        assert text.startswith("#")
+        assert len(text.splitlines()) > 100

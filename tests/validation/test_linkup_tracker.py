@@ -1,0 +1,61 @@
+"""Tests for the switch-validation link-up tracker (port follows server)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import cisco_2960_switch
+from repro.core.engine import Engine
+from repro.experiments.validation_switch import _LinkUpTracker
+from repro.network.switch import PortState
+from repro.network.topology import star
+from repro.server.server import Server
+
+
+def make_cluster(fast_sleep_config, n=4):
+    engine = Engine()
+    servers = [Server(engine, fast_sleep_config, server_id=i) for i in range(n)]
+    topo = star(engine, n, switch_config=cisco_2960_switch())
+    return engine, servers, topo
+
+
+class TestLinkUpTracker:
+    def test_initial_ports_follow_awake_servers(self, fast_sleep_config):
+        engine, servers, topo = make_cluster(fast_sleep_config)
+        _LinkUpTracker(engine, topo, servers, "sw0")
+        switch = topo.switches["sw0"]
+        # All servers awake -> all attached ports active immediately.
+        assert switch.active_port_count() == 4
+
+    def test_port_drops_when_server_suspends(self, fast_sleep_config):
+        engine, servers, topo = make_cluster(fast_sleep_config)
+        tracker = _LinkUpTracker(engine, topo, servers, "sw0", interval_s=0.05)
+        tracker.start()
+        servers[0].sleep("s3")
+        engine.run(until=1.0)
+        switch = topo.switches["sw0"]
+        # One link went down; its port decays to LPI after the LPI timer.
+        assert switch.active_port_count() == 3
+
+    def test_port_restored_on_wake(self, fast_sleep_config):
+        engine, servers, topo = make_cluster(fast_sleep_config)
+        tracker = _LinkUpTracker(engine, topo, servers, "sw0", interval_s=0.05)
+        tracker.start()
+        servers[0].sleep("s3")
+        engine.run(until=1.0)
+        servers[0].request_wake()
+        engine.run(until=2.0)
+        assert topo.switches["sw0"].active_port_count() == 4
+
+    def test_switch_power_tracks_link_count(self, fast_sleep_config):
+        engine, servers, topo = make_cluster(fast_sleep_config)
+        tracker = _LinkUpTracker(engine, topo, servers, "sw0", interval_s=0.05)
+        tracker.start()
+        switch = topo.switches["sw0"]
+        full = switch.power_w()
+        for server in servers[:2]:
+            server.sleep("s3")
+        engine.run(until=1.0)
+        reduced = switch.power_w()
+        per_port = switch.config.port_profile.active_w - switch.config.port_profile.lpi_w
+        assert full - reduced == pytest.approx(2 * per_port, rel=0.05)

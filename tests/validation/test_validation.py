@@ -1,0 +1,125 @@
+"""Tests for the physical reference models and the comparison harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import cisco_2960_switch, validation_cpu_profile
+from repro.validation.harness import compare_power_traces
+from repro.validation.physical import PhysicalServerModel, PhysicalSwitchModel
+
+
+class TestCompareTraces:
+    def test_identical_traces(self):
+        comparison = compare_power_traces([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert comparison.mean_abs_diff_w == 0.0
+        assert comparison.std_diff_w == 0.0
+        assert comparison.correlation == pytest.approx(1.0)
+
+    def test_constant_offset(self):
+        comparison = compare_power_traces([1.0, 2.0, 3.0], [1.5, 2.5, 3.5])
+        assert comparison.mean_diff_w == pytest.approx(0.5)
+        assert comparison.mean_abs_diff_w == pytest.approx(0.5)
+        assert comparison.std_diff_w == pytest.approx(0.0)
+        assert comparison.relative_error == pytest.approx(0.5 / 2.5)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            compare_power_traces([1.0], [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            compare_power_traces([], [])
+
+    def test_anticorrelated(self):
+        comparison = compare_power_traces([1.0, 2.0, 3.0], [3.0, 2.0, 1.0])
+        assert comparison.correlation == pytest.approx(-1.0)
+
+    def test_summary_is_one_line(self):
+        comparison = compare_power_traces([1.0, 2.0], [1.1, 2.1])
+        assert "\n" not in comparison.summary()
+        assert "W" in comparison.summary()
+
+
+class TestPhysicalServerModel:
+    def _model(self, noise=0.0, os_rate=0.0):
+        return PhysicalServerModel(
+            validation_cpu_profile(),
+            np.random.default_rng(1),
+            os_burst_rate_per_s=os_rate,
+            measurement_noise_w=noise,
+        )
+
+    def test_busy_intervals_respect_core_count(self):
+        model = self._model()
+        # 20 simultaneous 1 s jobs on 10 cores: second half starts at 1.0.
+        arrivals = [0.0] * 20
+        services = [1.0] * 20
+        spans = model.busy_intervals(arrivals, services)
+        starts = sorted(start for start, _ in spans)
+        assert starts[:10] == [0.0] * 10
+        assert starts[10:] == [1.0] * 10
+
+    def test_busy_intervals_validates_lengths(self):
+        with pytest.raises(ValueError):
+            self._model().busy_intervals([0.0], [1.0, 2.0])
+
+    def test_idle_power_floor(self):
+        model = self._model()
+        _, watts = model.power_trace([], [], duration_s=10.0)
+        proc = validation_cpu_profile().processor
+        idle = proc.package_profile.pc6_w + proc.n_cores * proc.core_profile.c6_w
+        assert all(w == pytest.approx(idle, abs=0.01) for w in watts)
+
+    def test_fully_loaded_power(self):
+        model = self._model()
+        arrivals = [0.0] * 10
+        services = [10.0] * 10
+        _, watts = model.power_trace(arrivals, services, duration_s=10.0)
+        proc = validation_cpu_profile().processor
+        busy = proc.package_profile.pc0_w + proc.n_cores * proc.core_profile.active_w
+        assert watts[0] == pytest.approx(busy, rel=0.02)
+
+    def test_noise_changes_samples(self):
+        noisy = PhysicalServerModel(
+            validation_cpu_profile(), np.random.default_rng(1),
+            os_burst_rate_per_s=0.0, measurement_noise_w=0.5,
+        )
+        _, watts = noisy.power_trace([], [], duration_s=50.0)
+        assert np.std(watts) > 0.1
+
+    def test_validates_duration(self):
+        with pytest.raises(ValueError):
+            self._model().power_trace([], [], duration_s=0.0)
+
+
+class TestPhysicalSwitchModel:
+    def test_base_plus_ports(self):
+        model = PhysicalSwitchModel(
+            cisco_2960_switch(), np.random.default_rng(2), measurement_noise_w=0.0
+        )
+        watts = model.power_trace([0.0, 1.0], [0, 24])
+        lpi = cisco_2960_switch().port_profile.lpi_w
+        assert watts[0] == pytest.approx(14.7 + 24 * lpi, rel=0.01)
+        assert watts[1] == pytest.approx(14.7 + 24 * 0.23, rel=0.01)
+
+    def test_bias_segment_applied(self):
+        model = PhysicalSwitchModel(
+            cisco_2960_switch(), np.random.default_rng(2),
+            measurement_noise_w=0.0, bias_w=0.2, bias_segments=[(10.0, 20.0)],
+        )
+        watts = model.power_trace([5.0, 15.0], [0, 0])
+        assert watts[1] - watts[0] == pytest.approx(0.2)
+
+    def test_length_mismatch(self):
+        model = PhysicalSwitchModel(cisco_2960_switch(), np.random.default_rng(2))
+        with pytest.raises(ValueError):
+            model.power_trace([0.0], [1, 2])
+
+    def test_port_count_clamped(self):
+        model = PhysicalSwitchModel(
+            cisco_2960_switch(), np.random.default_rng(2), measurement_noise_w=0.0
+        )
+        watts = model.power_trace([0.0], [99])
+        assert watts[0] == pytest.approx(14.7 + 24 * 0.23, rel=0.01)
