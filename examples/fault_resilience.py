@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Fault injection: how failure frequency erodes availability and tail latency.
+
+Sweeps the server mean-time-between-failures (MTBF) under a fixed
+web-search workload.  Servers crash and repair according to an exponential
+MTBF/MTTR process; crashed servers abort their in-flight tasks, which the
+global scheduler re-dispatches elsewhere with exponential backoff (up to a
+retry limit).  The sweep shows retries masking failures — jobs still
+complete — while availability and the p99 latency tail degrade.
+
+Run:  python examples/fault_resilience.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fault_resilience import run_fault_resilience_sweep
+
+MTBF_VALUES = (120.0, 60.0, 30.0, 15.0)  # seconds between failures per server
+MTTR_S = 5.0  # seconds to repair
+
+
+def main() -> None:
+    sweep = run_fault_resilience_sweep(
+        mtbf_values=MTBF_VALUES,
+        mttr_s=MTTR_S,
+        n_servers=20,
+        n_cores=2,
+        utilization=0.3,
+        duration_s=60.0,
+        retry_limit=3,
+        slo_latency_s=0.05,
+        seed=7,
+    )
+    print(sweep.render())
+    print()
+    worst = sweep.points[-1]
+    print(
+        f"at MTBF={worst.mtbf_s:.0f}s the farm was up "
+        f"{worst.availability:.2%} of the time; "
+        f"{worst.tasks_retried} task re-dispatches masked "
+        f"{worst.failures_injected} server failures "
+        f"({worst.jobs_failed} jobs exhausted their retry budget)"
+    )
+
+
+if __name__ == "__main__":
+    main()

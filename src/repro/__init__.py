@@ -20,11 +20,15 @@ This package implements the simulator from scratch in Python:
   server-network optimization);
 * :mod:`repro.validation` — reference models and comparison harness for the
   server/switch power validations;
+* :mod:`repro.faults` — fault injection (MTBF/MTTR processes, trace-scripted
+  outages) and the resilience hooks that re-dispatch and re-route around
+  failed components;
 * :mod:`repro.experiments` — runnable reproductions of every figure.
 """
 
 from repro.core import Engine, RandomSource
 from repro.core.config import (
+    FaultConfig,
     LinkConfig,
     ProcessorConfig,
     ServerConfig,
@@ -34,6 +38,12 @@ from repro.core.config import (
     small_cloud_server,
     validation_cpu_profile,
     xeon_e5_2680_server,
+)
+from repro.faults import (
+    ExponentialFaultModel,
+    FaultInjector,
+    TraceFaultSchedule,
+    WeibullFaultModel,
 )
 from repro.jobs import Job, Task
 from repro.server import Server
@@ -77,6 +87,9 @@ __all__ = [
     "DualDelayTimerPolicy",
     "DvfsGovernor",
     "Engine",
+    "ExponentialFaultModel",
+    "FaultConfig",
+    "FaultInjector",
     "FlowNetwork",
     "JointEnergyManager",
     "PacketNetwork",
@@ -103,6 +116,8 @@ __all__ = [
     "ServerConfig",
     "SwitchConfig",
     "Task",
+    "TraceFaultSchedule",
+    "WeibullFaultModel",
     "WorkloadDriver",
     "arrival_rate_for_utilization",
     "cisco_2960_switch",

@@ -12,6 +12,7 @@ the paper's figure reports::
     python -m repro validate-server
     python -m repro validate-switch --duration 1800
     python -m repro scalability --servers 20480
+    python -m repro faults --mtbfs 120 60 30 --retry-limit 3
 
 Use ``--help`` on any subcommand for its knobs.
 """
@@ -24,6 +25,7 @@ from typing import List, Optional
 from repro.experiments import (
     adaptive,
     delay_timer,
+    fault_resilience,
     joint_energy,
     provisioning,
     scalability,
@@ -144,6 +146,22 @@ def _cmd_validate_switch(args: argparse.Namespace) -> None:
     print(result.render())
 
 
+def _cmd_faults(args: argparse.Namespace) -> None:
+    sweep = fault_resilience.run_fault_resilience_sweep(
+        mtbf_values=args.mtbfs,
+        mttr_s=args.mttr,
+        n_servers=args.servers,
+        n_cores=args.cores,
+        utilization=args.utilization,
+        duration_s=args.duration,
+        retry_limit=args.retry_limit,
+        slo_latency_s=args.slo,
+        seed=args.seed,
+        profile=_workload(args.workload),
+    )
+    print(sweep.render())
+
+
 def _cmd_scalability(args: argparse.Namespace) -> None:
     result = scalability.run_scalability(
         n_servers=args.servers, n_jobs=args.jobs, seed=args.seed
@@ -221,6 +239,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate", type=float, default=400.0)
     common(p)
     p.set_defaults(fn=_cmd_validate_switch)
+
+    p = sub.add_parser("faults", help="fault injection: availability vs MTBF sweep")
+    p.add_argument("--workload", default="web-search", choices=sorted(WORKLOADS))
+    p.add_argument("--mtbfs", type=float, nargs="+",
+                   default=[120.0, 60.0, 30.0, 15.0],
+                   help="server mean-time-between-failures values (s)")
+    p.add_argument("--mttr", type=float, default=5.0,
+                   help="server mean-time-to-repair (s)")
+    p.add_argument("--servers", type=int, default=20)
+    p.add_argument("--cores", type=int, default=2)
+    p.add_argument("--utilization", type=float, default=0.3)
+    p.add_argument("--duration", type=float, default=60.0)
+    p.add_argument("--retry-limit", type=int, default=3,
+                   help="re-dispatch attempts before a task's job is failed")
+    p.add_argument("--slo", type=float, default=None,
+                   help="count jobs slower than this latency (s) as SLO violations")
+    common(p)
+    p.set_defaults(fn=_cmd_faults)
 
     p = sub.add_parser("scalability", help="Table I: >20K-server scalability")
     p.add_argument("--servers", type=int, default=20_480)

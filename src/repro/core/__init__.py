@@ -10,6 +10,7 @@ dataclasses shared by the server, network and workload subsystems.
 from repro.core.engine import Engine, EventHandle, SimulationError
 from repro.core.rng import RandomSource
 from repro.core.stats import (
+    AvailabilityTracker,
     CdfResult,
     EnergyAccount,
     LatencyCollector,
@@ -23,6 +24,7 @@ __all__ = [
     "EventHandle",
     "SimulationError",
     "RandomSource",
+    "AvailabilityTracker",
     "CdfResult",
     "EnergyAccount",
     "LatencyCollector",

@@ -253,6 +253,75 @@ class LinkConfig(ConfigMixin):
 
 
 # ----------------------------------------------------------------------
+# Fault injection (see repro.faults)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultConfig(ConfigMixin):
+    """Configuration for the fault-injection subsystem (:mod:`repro.faults`).
+
+    Disabled by default: with ``enabled=False`` a simulation is bit-identical
+    to one with no fault machinery at all.  Per-component failure processes
+    are parameterised by mean time between failures (MTBF) and mean time to
+    repair (MTTR) in seconds; an MTBF of 0 disables faults for that component
+    class.  ``distribution`` selects the stochastic model (``"exponential"``
+    memoryless processes or ``"weibull"`` with the configured shapes); the
+    ``trace`` field instead scripts deterministic fault events as
+    ``(time_s, kind, target, action)`` entries where ``kind`` is one of
+    ``server`` / ``switch`` / ``link``, ``target`` is a server id, switch
+    name, or ``"u|v"`` link key, and ``action`` is ``fail`` or ``repair``.
+
+    Retry fields mirror :class:`repro.scheduling.GlobalScheduler`'s recovery
+    knobs so a whole resilience study round-trips through one JSON document.
+    """
+
+    enabled: bool = False
+    distribution: str = "exponential"
+    weibull_failure_shape: float = 1.5
+    weibull_repair_shape: float = 1.0
+    server_mtbf_s: float = 0.0
+    server_mttr_s: float = 10.0
+    switch_mtbf_s: float = 0.0
+    switch_mttr_s: float = 10.0
+    link_mtbf_s: float = 0.0
+    link_mttr_s: float = 5.0
+    retry_limit: int = 3
+    retry_backoff_s: float = 0.1
+    retry_backoff_factor: float = 2.0
+    slo_latency_s: Optional[float] = None
+    trace: tuple = ()
+
+    def __post_init__(self) -> None:
+        # Normalise trace entries (JSON yields lists) so round-trips compare equal.
+        object.__setattr__(self, "trace", tuple(tuple(e) for e in self.trace))
+        if self.distribution not in ("exponential", "weibull"):
+            raise ValueError(
+                f"unknown fault distribution {self.distribution!r}; "
+                f"expected 'exponential' or 'weibull'"
+            )
+        for name in ("server_mtbf_s", "switch_mtbf_s", "link_mtbf_s"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        for name in ("server_mttr_s", "switch_mttr_s", "link_mttr_s"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.weibull_failure_shape <= 0 or self.weibull_repair_shape <= 0:
+            raise ValueError("weibull shapes must be positive")
+        if self.retry_limit < 0:
+            raise ValueError(f"retry_limit must be >= 0, got {self.retry_limit}")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
+        if self.retry_backoff_factor < 1.0:
+            raise ValueError("retry_backoff_factor must be >= 1")
+
+    @property
+    def any_stochastic(self) -> bool:
+        """True when at least one component class has a failure process."""
+        return self.enabled and (
+            self.server_mtbf_s > 0 or self.switch_mtbf_s > 0 or self.link_mtbf_s > 0
+        )
+
+
+# ----------------------------------------------------------------------
 # Calibrated stock profiles
 # ----------------------------------------------------------------------
 def xeon_e5_2680_server(

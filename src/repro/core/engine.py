@@ -151,8 +151,10 @@ class Engine:
         Args:
             until: stop once the next event is strictly later than this time
                 (the clock is advanced to ``until``).  ``None`` drains the queue.
-            max_events: safety valve; raise :class:`SimulationError` when
-                exceeded (useful to catch accidental event storms in tests).
+            max_events: safety valve; execute at most this many events, then
+                raise :class:`SimulationError` if more remain (useful to catch
+                accidental event storms in tests).  Draining the queue in
+                exactly ``max_events`` events is not an error.
         """
         if self._running:
             raise SimulationError("Engine.run() is not re-entrant")
@@ -166,10 +168,10 @@ class Engine:
                     break
                 if until is not None and self._heap[0].time > until:
                     break
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
                 self.step()
                 executed += 1
-                if max_events is not None and executed > max_events:
-                    raise SimulationError(f"exceeded max_events={max_events}")
         finally:
             self._running = False
         if until is not None and self._now < until and not self._stopped:

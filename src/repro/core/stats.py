@@ -13,6 +13,8 @@ transitions.  The helpers in this module are the building blocks:
   CDF queries (job latency, network delay).
 * :class:`TimeSeriesSampler` — engine-driven periodic sampling of arbitrary
   probes, used to produce power-over-time traces (Figs. 4, 12, 13).
+* :class:`AvailabilityTracker` — per-component up/down bookkeeping for the
+  fault-injection subsystem: uptime fraction plus observed MTTF/MTTR.
 """
 
 from __future__ import annotations
@@ -122,6 +124,82 @@ class EnergyAccount:
     def energy_j(self, now: float) -> float:
         """Total energy in joules consumed up to ``now``."""
         return self._energy_j + self._power_w * (now - self._since)
+
+
+class AvailabilityTracker:
+    """Track one component's up/down history (see :mod:`repro.faults`).
+
+    Built on :class:`StateTracker`; adds the derived reliability metrics the
+    run summary reports: uptime fraction ("nines"), observed mean time to
+    failure (mean length of completed up intervals) and observed mean time
+    to repair (mean length of completed down intervals).
+    """
+
+    UP = "up"
+    DOWN = "down"
+
+    def __init__(self, name: str, start_time: float = 0.0):
+        self.name = name
+        self._tracker = StateTracker(self.UP, start_time)
+        self.failures = 0
+        self.repairs = 0
+
+    @property
+    def is_up(self) -> bool:
+        return self._tracker.state == self.UP
+
+    def mark_down(self, now: float) -> None:
+        """The component failed at ``now``; repeated calls are no-ops."""
+        if not self.is_up:
+            return
+        self.failures += 1
+        self._tracker.set_state(self.DOWN, now)
+
+    def mark_up(self, now: float) -> None:
+        """The component was repaired at ``now``; repeated calls are no-ops."""
+        if self.is_up:
+            return
+        self.repairs += 1
+        self._tracker.set_state(self.UP, now)
+
+    def uptime_fraction(self, now: float) -> float:
+        """Fraction of tracked time the component was up (1.0 if untracked)."""
+        fractions = self._tracker.residency_fractions(now)
+        if not fractions:
+            return 1.0
+        return fractions.get(self.UP, 0.0)
+
+    def downtime_s(self, now: float) -> float:
+        """Total seconds spent down up to ``now``."""
+        return self._tracker.residency(now).get(self.DOWN, 0.0)
+
+    def observed_mttf_s(self, now: float) -> Optional[float]:
+        """Mean length of completed up intervals, or None before any failure."""
+        if self.failures == 0:
+            return None
+        up_time = self._tracker.residency(now).get(self.UP, 0.0)
+        if not self.is_up:
+            # All up intervals are complete; otherwise the open one is
+            # excluded so the estimate is not biased low by the query time.
+            return up_time / self.failures
+        # Subtract the in-progress up interval (since the last repair).
+        return max(0.0, up_time - self._open_interval_s(now)) / self.failures
+
+    def observed_mttr_s(self, now: float) -> Optional[float]:
+        """Mean length of completed down intervals, or None before any repair."""
+        if self.repairs == 0:
+            return None
+        down_time = self._tracker.residency(now).get(self.DOWN, 0.0)
+        if self.is_up:
+            return down_time / self.repairs
+        return max(0.0, down_time - self._open_interval_s(now)) / self.repairs
+
+    def _open_interval_s(self, now: float) -> float:
+        return now - self._tracker._since
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = self.UP if self.is_up else self.DOWN
+        return f"<AvailabilityTracker {self.name} {state} failures={self.failures}>"
 
 
 @dataclass

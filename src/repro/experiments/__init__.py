@@ -16,12 +16,14 @@ scaled-down parameters.
 | ``joint_energy``    | Fig. 10/11 (server+network power, latency CDF) |
 | ``validation_server`` | Fig. 12 (server power trace vs physical)     |
 | ``validation_switch`` | Fig. 13/14 (switch power trace vs physical)  |
+| ``fault_resilience``  | extension: availability vs server MTBF sweep |
 """
 
 from repro.experiments import (
     adaptive,
     delay_timer,
     dual_timer,
+    fault_resilience,
     joint_energy,
     provisioning,
     scalability,
@@ -33,6 +35,7 @@ __all__ = [
     "adaptive",
     "delay_timer",
     "dual_timer",
+    "fault_resilience",
     "joint_energy",
     "provisioning",
     "scalability",

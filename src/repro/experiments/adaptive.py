@@ -94,7 +94,13 @@ class ResidencyResult:
     def render(self) -> str:
         lines = [f"Fig. 8 — state residency under the adaptive framework "
                  f"({self.workload})"]
-        cats = ResidencyCategory.ALL
+        # The Failed column only appears when fault injection was active, so
+        # the Fig. 8 table keeps the paper's five columns by default.
+        cats = [
+            c for c in ResidencyCategory.ALL
+            if c is not ResidencyCategory.FAILED
+            or any(self.residency[u].get(c, 0.0) > 0 for u in self.utilizations)
+        ]
         lines.append("rho   " + "".join(f"{c:>10}" for c in cats) + f"{'p95(ms)':>10}")
         for u in self.utilizations:
             row = f"{u:4.1f}  " + "".join(

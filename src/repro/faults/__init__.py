@@ -1,0 +1,34 @@
+"""Fault injection and resilience (HolDCSim's failure/repair extension point).
+
+The paper's simulator treats data-center components as always-on; this
+package injects component failures and repairs as first-class engine events
+so resilience policies (task retry with backoff, routing around dead
+switches/links) can be studied under the same reproducible harness as the
+energy experiments.
+
+* :mod:`repro.faults.models` — exponential and Weibull MTBF/MTTR processes
+  plus deterministic trace-scripted schedules.
+* :mod:`repro.faults.injector` — the :class:`FaultInjector` orchestrating
+  fail/repair loops against servers, switches, and links.
+
+All stochastic draws come from the run's ``"faults"`` stream: a simulation
+with faults disabled is bit-identical to one without the subsystem at all.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    ExponentialFaultModel,
+    FaultModel,
+    TraceFaultSchedule,
+    WeibullFaultModel,
+    make_fault_model,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultModel",
+    "ExponentialFaultModel",
+    "WeibullFaultModel",
+    "TraceFaultSchedule",
+    "make_fault_model",
+]

@@ -53,6 +53,7 @@ class Task:
         "ready_time",
         "start_time",
         "finish_time",
+        "attempts",
         "_remaining_parents",
         "_remaining_transfers",
     )
@@ -81,6 +82,8 @@ class Task:
         self.ready_time: Optional[float] = None
         self.start_time: Optional[float] = None
         self.finish_time: Optional[float] = None
+        # Dispatch attempts consumed by failure recovery (0 = never failed).
+        self.attempts = 0
         self._remaining_parents = 0
         self._remaining_transfers = 0
 
@@ -151,6 +154,9 @@ class Job:
         self._parents: Dict[int, List[Tuple[int, float]]] = {}
         self._finished_tasks = 0
         self.finish_time: Optional[float] = None
+        # Set by the global scheduler when a task exhausts its failure-retry
+        # budget; a failed job never completes and is dropped from accounting.
+        self.failed = False
 
     # -- construction -----------------------------------------------------
     def add_task(

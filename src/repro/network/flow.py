@@ -164,7 +164,16 @@ class FlowNetwork:
         self.adapt_link_rates = adapt_link_rates
         self.local_transfer_delay_s = local_transfer_delay_s
         self.active_flows: Dict[int, Flow] = {}
+        # Flows parked while sleeping switches on their path wake up,
+        # keyed by flow id; the barrier is kept so a stale wake (from a
+        # path abandoned mid-wake by a re-route) can be recognised.
+        self._pending_wake: Dict[int, Tuple[Flow, "_WakeBarrier"]] = {}
+        # Flows whose endpoints were partitioned apart by failures; they
+        # resume via retry_stranded() once a repair restores a path.
+        self._stranded: List[Flow] = []
         self.flows_completed = 0
+        self.flows_rerouted = 0
+        self.flows_stranded = 0
         self.bits_delivered = 0.0
         self.flow_completion_time = LatencyCollector("flow_completion_time")
 
@@ -192,20 +201,7 @@ class FlowNetwork:
         dst = self.topology.server_node(dst_server_id)
         now = self.engine.now
         flow = self._build_flow(src, dst, size_bytes * 8.0, callback, now)
-        sleeping = [
-            sw for sw in self.router.switches_on_path(flow.path) if not sw.is_on
-        ]
-        if sleeping:
-            if not self.auto_wake_switches:
-                raise RuntimeError(
-                    f"route {flow.path} crosses sleeping switches "
-                    f"{[s.name for s in sleeping]} and auto-wake is disabled"
-                )
-            barrier = _WakeBarrier(len(sleeping), lambda: self._start_flow(flow))
-            for sw in sleeping:
-                sw.request_wake(barrier.arrive)
-        else:
-            self._start_flow(flow)
+        self._launch(flow)
         return flow
 
     def _build_flow(
@@ -225,6 +221,35 @@ class FlowNetwork:
     # ------------------------------------------------------------------
     # Flow lifecycle
     # ------------------------------------------------------------------
+    def _launch(self, flow: Flow) -> None:
+        """Start a flow on its current path, waking sleeping switches first."""
+        sleeping = [
+            sw for sw in self.router.switches_on_path(flow.path) if not sw.is_on
+        ]
+        if sleeping:
+            if not self.auto_wake_switches:
+                raise RuntimeError(
+                    f"route {flow.path} crosses sleeping switches "
+                    f"{[s.name for s in sleeping]} and auto-wake is disabled"
+                )
+            barrier = _WakeBarrier(
+                len(sleeping), lambda: self._wake_complete(flow, barrier)
+            )
+            self._pending_wake[flow.flow_id] = (flow, barrier)
+            for sw in sleeping:
+                sw.request_wake(barrier.arrive)
+        else:
+            self._start_flow(flow)
+
+    def _wake_complete(self, flow: Flow, barrier: "_WakeBarrier") -> None:
+        entry = self._pending_wake.get(flow.flow_id)
+        if entry is None or entry[1] is not barrier:
+            # The flow was re-routed (or stranded) while these switches woke;
+            # this wake belongs to the abandoned path.
+            return
+        del self._pending_wake[flow.flow_id]
+        self._start_flow(flow)
+
     def _start_flow(self, flow: Flow) -> None:
         now = self.engine.now
         flow.started_at = now
@@ -299,9 +324,91 @@ class FlowNetwork:
             link.adapt_rate(peak)
 
     # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def reroute_around_failures(self) -> int:
+        """Move flows off paths that cross a failed link or switch.
+
+        Each broken flow's progress is banked, its old hops are released,
+        and it restarts on a fresh shortest path (waking switches as
+        needed).  Flows whose endpoints are partitioned apart are parked
+        and resumed by :meth:`retry_stranded` after a repair.  Returns the
+        number of flows displaced (re-routed plus stranded).
+        """
+        now = self.engine.now
+        broken: List[Flow] = []
+        for flow in self.active_flows.values():
+            elapsed = now - flow.last_update
+            if elapsed > 0 and flow.rate_bps > 0:
+                flow.remaining_bits = max(
+                    0.0, flow.remaining_bits - flow.rate_bps * elapsed
+                )
+            flow.last_update = now
+            if not self.topology.path_is_up(flow.path):
+                broken.append(flow)
+        for flow in broken:
+            if flow.completion is not None and flow.completion.pending:
+                flow.completion.cancel()
+            flow.completion = None
+            flow.rate_bps = 0.0
+            del self.active_flows[flow.flow_id]
+            for link, u, v in flow.hops:
+                link.end_activity(u, v)
+        # Flows still waiting on switch wakes never started, so they hold no
+        # link activity; dropping the pending entry orphans their barrier.
+        waiting = [
+            flow
+            for flow, _barrier in self._pending_wake.values()
+            if not self.topology.path_is_up(flow.path)
+        ]
+        for flow in waiting:
+            del self._pending_wake[flow.flow_id]
+        for flow in broken + waiting:
+            if not self._relaunch(flow):
+                self.flows_stranded += 1
+                self._stranded.append(flow)
+        self._recompute()
+        return len(broken) + len(waiting)
+
+    def retry_stranded(self) -> int:
+        """Resume stranded flows whose endpoints are reachable again.
+
+        Called after a repair restores connectivity; returns the number of
+        flows that found a path and restarted.
+        """
+        if not self._stranded:
+            return 0
+        still_stranded: List[Flow] = []
+        resumed = 0
+        for flow in self._stranded:
+            if self._relaunch(flow):
+                resumed += 1
+            else:
+                still_stranded.append(flow)
+        self._stranded = still_stranded
+        return resumed
+
+    def _relaunch(self, flow: Flow) -> bool:
+        """Re-route a displaced flow; returns False when no path survives."""
+        path = self.router.try_route(
+            flow.src, flow.dst, flow_key=f"{flow.src}->{flow.dst}#{flow.flow_id}"
+        )
+        if path is None:
+            return False
+        flow.path = path
+        flow.hops = self.router.links_on_path(path)
+        self.flows_rerouted += 1
+        self._launch(flow)
+        return True
+
+    # ------------------------------------------------------------------
     @property
     def active_flow_count(self) -> int:
         return len(self.active_flows)
+
+    @property
+    def stranded_flow_count(self) -> int:
+        return len(self._stranded)
 
     def __repr__(self) -> str:
         return f"<FlowNetwork flows={len(self.active_flows)} done={self.flows_completed}>"

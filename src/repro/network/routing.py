@@ -29,6 +29,9 @@ class Router:
         self.topology = topology
         self.max_cached_pairs = max_cached_pairs
         self._cache: Dict[Tuple[str, str], List[List[str]]] = {}
+        # Fault injection mutates topology connectivity; stale shortest paths
+        # through dead components must never be served from the cache.
+        topology.add_change_listener(self.invalidate_cache)
 
     # ------------------------------------------------------------------
     def equal_cost_paths(self, src: str, dst: str) -> List[List[str]]:
@@ -54,6 +57,14 @@ class Router:
             return paths[0]
         index = zlib.crc32(flow_key.encode("utf-8")) % len(paths)
         return paths[index]
+
+    def try_route(self, src: str, dst: str, flow_key: Optional[str] = None) -> Optional[List[str]]:
+        """Like :meth:`route` but returns None when no path exists (e.g. the
+        destination is partitioned away by failures)."""
+        try:
+            return self.route(src, dst, flow_key)
+        except ValueError:
+            return None
 
     def route_power_aware(self, src: str, dst: str) -> List[str]:
         """The equal-cost path that wakes the fewest sleeping switches."""

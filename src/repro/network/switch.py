@@ -44,6 +44,7 @@ class SwitchState(enum.Enum):
     ON = "on"
     SLEEP = "sleep"
     WAKING = "waking"
+    FAILED = "failed"
 
 
 class Port:
@@ -254,6 +255,8 @@ class Switch:
         self._wake_event: Optional[EventHandle] = None
         self._wake_waiters: List[Callable[[], None]] = []
         self.wake_count = 0
+        self.failure_count = 0
+        self.repair_count = 0
 
     # ------------------------------------------------------------------
     # Port allocation (used by topology builders)
@@ -295,12 +298,50 @@ class Switch:
         self._set_state(SwitchState.SLEEP)
         return True
 
+    def fail(self) -> bool:
+        """Crash the switch: all line cards and ports go dark, power drops to
+        zero, and any in-flight wake is aborted.  Waiters registered through
+        :meth:`request_wake` are dropped — the flow layer re-routes the
+        traffic that was waiting (see ``FlowNetwork.reroute_around_failures``).
+        Returns False if the switch had already failed.
+        """
+        if self.state is SwitchState.FAILED:
+            return False
+        if self._wake_event is not None and self._wake_event.pending:
+            self._wake_event.cancel()
+        self._wake_event = None
+        self._wake_waiters = []
+        for lc in self.linecards:
+            lc._cancel_sleep_timer()
+            lc._set_state(LineCardState.OFF)
+            for port in lc.ports:
+                port._cancel_lpi_timer()
+                port._set_state(PortState.OFF)
+        self.failure_count += 1
+        self._set_state(SwitchState.FAILED)
+        return True
+
+    def repair(self) -> bool:
+        """Return a failed switch to ON with all ports quiescent (LPI)."""
+        if self.state is not SwitchState.FAILED:
+            return False
+        self.repair_count += 1
+        for lc in self.linecards:
+            lc._set_state(LineCardState.ACTIVE)
+            for port in lc.ports:
+                port._set_state(PortState.LPI)
+            lc._arm_sleep_timer()
+        self._set_state(SwitchState.ON)
+        return True
+
     def request_wake(self, on_ready: Optional[Callable[[], None]] = None) -> float:
         """Wake a sleeping switch; returns the remaining time until ready.
 
         ``on_ready`` (if given) fires when the switch reaches ON.  Calling on
         an already-on switch returns 0 and fires immediately.
         """
+        if self.state is SwitchState.FAILED:
+            raise RuntimeError(f"cannot wake failed switch {self.name}")
         if self.state is SwitchState.ON:
             if on_ready is not None:
                 on_ready()
@@ -339,6 +380,8 @@ class Switch:
         self.chassis_energy.set_power(self._chassis_power(), now)
 
     def _chassis_power(self) -> float:
+        if self.state is SwitchState.FAILED:
+            return 0.0
         if self.state is SwitchState.SLEEP:
             return self.config.sleep_w
         # WAKING draws full chassis power while components come up.
@@ -349,6 +392,8 @@ class Switch:
     # ------------------------------------------------------------------
     def power_w(self) -> float:
         """Instantaneous switch power: chassis + line cards + ports."""
+        if self.state is SwitchState.FAILED:
+            return 0.0
         if self.state is SwitchState.SLEEP:
             return self.config.sleep_w
         return self._chassis_power() + sum(lc.power_w() for lc in self.linecards)

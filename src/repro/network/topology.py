@@ -15,7 +15,7 @@ used by :class:`repro.server.Server`; switches carry descriptive names
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import networkx as nx
 
@@ -35,6 +35,12 @@ class Topology:
         self.server_nodes: List[str] = []
         self.switches: Dict[str, Switch] = {}
         self.links: Dict[Tuple[str, str], Link] = {}
+        # Fault state (driven by repro.faults): failed components are removed
+        # from the routing graph but keep their Switch/Link objects so power
+        # accounting and repair can restore them.
+        self.failed_nodes: Set[str] = set()
+        self.failed_links: Set[Tuple[str, str]] = set()
+        self._change_listeners: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
     # Construction
@@ -79,6 +85,97 @@ class Topology:
     @staticmethod
     def _link_key(u: str, v: str) -> Tuple[str, str]:
         return (u, v) if u <= v else (v, u)
+
+    # ------------------------------------------------------------------
+    # Fault state (driven by repro.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    def add_change_listener(self, callback: Callable[[], None]) -> None:
+        """Register a callback fired whenever connectivity changes
+        (routers use this to invalidate their path caches)."""
+        self._change_listeners.append(callback)
+
+    def fail_link(self, u: str, v: str) -> bool:
+        """Take a link down; returns False if it was already failed."""
+        key = self._link_key(u, v)
+        if key not in self.links:
+            raise KeyError(f"no link between {u!r} and {v!r}")
+        if key in self.failed_links:
+            return False
+        self.failed_links.add(key)
+        self._refresh_edge(key)
+        self._notify_change()
+        return True
+
+    def repair_link(self, u: str, v: str) -> bool:
+        """Bring a failed link back; returns False if it was not failed."""
+        key = self._link_key(u, v)
+        if key not in self.links:
+            raise KeyError(f"no link between {u!r} and {v!r}")
+        if key not in self.failed_links:
+            return False
+        self.failed_links.discard(key)
+        self._refresh_edge(key)
+        self._notify_change()
+        return True
+
+    def fail_node(self, node: str) -> bool:
+        """Take a node (switch or server) down with all incident links."""
+        if node not in self.graph:
+            raise KeyError(f"unknown node {node!r}")
+        if node in self.failed_nodes:
+            return False
+        self.failed_nodes.add(node)
+        for key in self._incident_link_keys(node):
+            self._refresh_edge(key)
+        self._notify_change()
+        return True
+
+    def repair_node(self, node: str) -> bool:
+        """Bring a failed node back, restoring its non-failed incident links."""
+        if node not in self.graph:
+            raise KeyError(f"unknown node {node!r}")
+        if node not in self.failed_nodes:
+            return False
+        self.failed_nodes.discard(node)
+        for key in self._incident_link_keys(node):
+            self._refresh_edge(key)
+        self._notify_change()
+        return True
+
+    def link_is_up(self, u: str, v: str) -> bool:
+        """True when the link and both endpoints are healthy."""
+        return self._edge_is_up(self._link_key(u, v))
+
+    def node_is_up(self, node: str) -> bool:
+        return node not in self.failed_nodes
+
+    def path_is_up(self, path: List[str]) -> bool:
+        """True when every node and every hop of a node path is healthy."""
+        if any(node in self.failed_nodes for node in path):
+            return False
+        return all(self.graph.has_edge(u, v) for u, v in zip(path, path[1:]))
+
+    def _incident_link_keys(self, node: str) -> List[Tuple[str, str]]:
+        return [key for key in self.links if node in key]
+
+    def _edge_is_up(self, key: Tuple[str, str]) -> bool:
+        return (
+            key not in self.failed_links
+            and key[0] not in self.failed_nodes
+            and key[1] not in self.failed_nodes
+        )
+
+    def _refresh_edge(self, key: Tuple[str, str]) -> None:
+        u, v = key
+        if self._edge_is_up(key):
+            if not self.graph.has_edge(u, v):
+                self.graph.add_edge(u, v, link=self.links[key])
+        elif self.graph.has_edge(u, v):
+            self.graph.remove_edge(u, v)
+
+    def _notify_change(self) -> None:
+        for callback in self._change_listeners:
+            callback()
 
     # ------------------------------------------------------------------
     # Queries

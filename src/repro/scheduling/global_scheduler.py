@@ -8,7 +8,10 @@ Responsibilities (paper §III-C/E):
 * when a parent and child task land on different servers, launch the result
   transfer on the network and hold the child until it arrives (temporal +
   spatial dependence);
-* record end-to-end job latency and track the number of in-flight jobs.
+* record end-to-end job latency and track the number of in-flight jobs;
+* recover tasks lost to server failures: re-dispatch with a configurable
+  retry limit and exponential backoff, abandoning the job (and counting it
+  as failed) once a task exhausts its budget (see :mod:`repro.faults`).
 """
 
 from __future__ import annotations
@@ -39,6 +42,12 @@ class GlobalScheduler:
         eligible_provider: optional callable returning the servers currently
             eligible for dispatch (pool managers plug in here); defaults to
             the full farm.
+        retry_limit: dispatch attempts a task lost to a failure may consume
+            before its job is abandoned.
+        retry_backoff_s: delay before the first re-dispatch of a lost task;
+            doubles (``retry_backoff_factor``) per subsequent attempt.
+        slo_latency_s: optional end-to-end latency SLO; completed jobs slower
+            than this are counted in :attr:`slo_violations`.
     """
 
     def __init__(
@@ -49,22 +58,44 @@ class GlobalScheduler:
         network=None,
         use_global_queue: bool = False,
         eligible_provider: Optional[Callable[[], List["Server"]]] = None,
+        retry_limit: int = 3,
+        retry_backoff_s: float = 0.1,
+        retry_backoff_factor: float = 2.0,
+        slo_latency_s: Optional[float] = None,
     ):
+        if retry_limit < 0:
+            raise ValueError(f"retry_limit must be >= 0, got {retry_limit}")
+        if retry_backoff_s < 0:
+            raise ValueError(f"retry_backoff_s must be >= 0, got {retry_backoff_s}")
+        if retry_backoff_factor < 1.0:
+            raise ValueError(
+                f"retry_backoff_factor must be >= 1, got {retry_backoff_factor}"
+            )
         self.engine = engine
         self.servers = list(servers)
         self.policy = policy or LeastLoadedPolicy()
         self.network = network
         self.use_global_queue = use_global_queue
         self.eligible_provider = eligible_provider
+        self.retry_limit = retry_limit
+        self.retry_backoff_s = retry_backoff_s
+        self.retry_backoff_factor = retry_backoff_factor
+        self.slo_latency_s = slo_latency_s
         self.global_queue: Deque[Task] = deque()
 
         self.jobs_submitted = 0
         self.jobs_completed = 0
         self.active_jobs = 0
+        self.jobs_failed = 0
+        self.tasks_lost = 0
+        self.tasks_retried = 0
+        self.tasks_abandoned = 0
+        self.slo_violations = 0
         self.job_latency = LatencyCollector("job_latency")
         self.task_queue_delay = LatencyCollector("task_queue_delay")
         self.transfer_delay = LatencyCollector("transfer_delay")
         self.on_job_complete: Optional[Callable[[Job], None]] = None
+        self.on_job_failed: Optional[Callable[[Job], None]] = None
 
         # Pending result transfers recorded per not-yet-placed child task:
         # child -> list of (src_server_id, bytes).
@@ -94,11 +125,17 @@ class GlobalScheduler:
         if self.eligible_provider is not None:
             eligible = self.eligible_provider()
             if eligible:
-                return eligible
-        return self.servers
+                return [s for s in eligible if not s.is_failed]
+        return [s for s in self.servers if not s.is_failed]
 
     def _place_task(self, task: Task) -> None:
         candidates = self._candidates()
+        if not candidates:
+            # Every server is down; treat as a lost dispatch so the retry
+            # budget bounds how long the task keeps knocking.
+            self.tasks_lost += 1
+            self._recover_task(task)
+            return
         server = self.policy.select_server(task, candidates)
         if server is None:
             if self.use_global_queue:
@@ -138,8 +175,58 @@ class GlobalScheduler:
         return _done
 
     def _submit(self, task: Task, server: "Server") -> None:
+        if server.is_failed:
+            # Placement went stale (the server died between placement and
+            # submission, e.g. while a result transfer was in flight).
+            self.tasks_lost += 1
+            self._recover_task(task)
+            return
         task.ready_time = self.engine.now
         server.submit_task(task)
+
+    # ------------------------------------------------------------------
+    # Failure recovery (driven by repro.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    def on_server_failed(self, server: "Server", lost_tasks: Sequence[Task]) -> None:
+        """A server crashed; re-dispatch every task it was holding."""
+        for task in lost_tasks:
+            self.tasks_lost += 1
+            self._recover_task(task)
+
+    def on_server_repaired(self, server: "Server") -> None:
+        """A server came back; let it pull centrally queued work."""
+        self._drain_global_queue(server)
+
+    def _recover_task(self, task: Task) -> None:
+        """Schedule a lost task's re-dispatch, or abandon its job."""
+        job = task.job
+        if job.failed:
+            return
+        task.attempts += 1
+        task.server_id = None
+        self._placements.pop(task, None)
+        if task.attempts > self.retry_limit:
+            self.tasks_abandoned += 1
+            self._fail_job(job)
+            return
+        self.tasks_retried += 1
+        delay = self.retry_backoff_s * self.retry_backoff_factor ** (task.attempts - 1)
+        self.engine.schedule(delay, self._redispatch, task)
+
+    def _redispatch(self, task: Task) -> None:
+        if task.job.failed:
+            return
+        task.state = TaskState.READY
+        self._place_task(task)
+
+    def _fail_job(self, job: Job) -> None:
+        if job.failed:
+            return
+        job.failed = True
+        self.jobs_failed += 1
+        self.active_jobs -= 1
+        if self.on_job_failed is not None:
+            self.on_job_failed(job)
 
     # ------------------------------------------------------------------
     # Completion handling (wired into every server)
@@ -149,6 +236,11 @@ class GlobalScheduler:
         if task.start_time is not None and task.ready_time is not None:
             self.task_queue_delay.record(task.start_time - task.ready_time)
         job = task.job
+        if job.failed:
+            # A sibling exhausted its retry budget; the job is already
+            # written off — don't expand children or record completion.
+            self._drain_global_queue(server)
+            return
         for child_index, transfer_bytes in job.children_of(task.index):
             child = job.tasks[child_index]
             child.parent_finished()
@@ -161,7 +253,10 @@ class GlobalScheduler:
         if job.task_finished(task, now):
             self.active_jobs -= 1
             self.jobs_completed += 1
-            self.job_latency.record(job.latency())
+            latency = job.latency()
+            self.job_latency.record(latency)
+            if self.slo_latency_s is not None and latency > self.slo_latency_s:
+                self.slo_violations += 1
             if self.on_job_complete is not None:
                 self.on_job_complete(job)
         self._drain_global_queue(server)

@@ -11,6 +11,10 @@ server enforces the legal transition graph::
 A wake requested while the server is still entering sleep is honoured as
 soon as entry completes (the "wake race" every delay-timer policy hits).
 
+Fault injection (:mod:`repro.faults`) adds one more state: FAILED.  A failed
+server aborts all in-flight tasks, drops its local queue, draws no power and
+refuses work until :meth:`Server.repair` returns it to S0.
+
 Energy is accounted per component — CPU, DRAM, platform — exactly the
 breakdown Fig. 9 of the paper reports.
 """
@@ -80,6 +84,8 @@ class Server:
         self.platform_energy = EnergyAccount("platform", 0.0, now)
         self.tasks_completed = 0
         self.tasks_submitted = 0
+        self.failure_count = 0
+        self.repair_count = 0
         self.tags: Dict[str, object] = {}
         self._update_power()
         self._update_residency()
@@ -97,6 +103,8 @@ class Server:
     # ------------------------------------------------------------------
     def submit_task(self, task: Task) -> None:
         """Accept a task from the global scheduler (or the network)."""
+        if self.system_state is SystemState.FAILED:
+            raise RuntimeError(f"cannot submit task to failed server {self.name}")
         self.tasks_submitted += 1
         task.server_id = self.server_id
         self.local_scheduler.enqueue(task)
@@ -217,7 +225,7 @@ class Server:
 
     def request_wake(self) -> None:
         """Ask a sleeping (or falling-asleep) server to return to S0."""
-        if self.system_state in (SystemState.S0, SystemState.WAKING):
+        if self.system_state in (SystemState.S0, SystemState.WAKING, SystemState.FAILED):
             return
         if self.system_state is SystemState.ENTERING_SLEEP:
             self._wake_pending = True
@@ -251,6 +259,54 @@ class Server:
         if self.is_idle and self.power_controller is not None:
             self.power_controller.on_server_idle(self)
 
+    # ------------------------------------------------------------------
+    # Failure and repair (driven by repro.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    @property
+    def is_failed(self) -> bool:
+        """True while the server is down due to an injected fault."""
+        return self.system_state is SystemState.FAILED
+
+    def fail(self) -> List[Task]:
+        """Crash the server: abort in-flight work, drop the local queue.
+
+        Returns every task that was running or queued here — these are lost
+        (tasks are restartable units) and must be re-dispatched elsewhere by
+        the global scheduler's recovery path.  Failing an already-failed
+        server is a no-op returning no tasks.
+        """
+        if self.system_state is SystemState.FAILED:
+            return []
+        if self._transition is not None and self._transition.pending:
+            self._transition.cancel()
+        self._transition = None
+        self._wake_pending = False
+        lost: List[Task] = []
+        for core in self.all_cores():
+            task = core.preempt()
+            if task is not None:
+                lost.append(task)
+        lost.extend(self.local_scheduler.drain())
+        for proc in self.processors:
+            proc.force_sleep()
+        self.failure_count += 1
+        self._set_system_state(SystemState.FAILED)
+        return lost
+
+    def repair(self) -> bool:
+        """Return a failed server to S0, ready to accept work again."""
+        if self.system_state is not SystemState.FAILED:
+            return False
+        self.repair_count += 1
+        self._set_system_state(SystemState.S0)
+        for proc in self.processors:
+            proc.wake_from_sleep()
+        if self.power_controller is not None:
+            self.power_controller.on_server_awake(self)
+            if self.is_idle:
+                self.power_controller.on_server_idle(self)
+        return True
+
     def _set_system_state(self, state: SystemState) -> None:
         if state is self.system_state:
             return
@@ -268,6 +324,8 @@ class Server:
     def _component_powers(self) -> Dict[str, float]:
         platform = self.config.platform
         state = self.system_state
+        if state is SystemState.FAILED:
+            return {"cpu": 0.0, "dram": 0.0, "platform": 0.0}
         if state is SystemState.S3:
             return {"cpu": 0.0, "dram": platform.dram_selfrefresh_w, "platform": platform.s3_w}
         if state is SystemState.S5:
@@ -300,6 +358,8 @@ class Server:
 
     def _residency_category(self) -> str:
         state = self.system_state
+        if state is SystemState.FAILED:
+            return ResidencyCategory.FAILED
         if state in (SystemState.S3, SystemState.S5, SystemState.ENTERING_SLEEP):
             return ResidencyCategory.SYS_SLEEP
         if state is SystemState.WAKING:

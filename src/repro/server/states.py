@@ -40,6 +40,7 @@ class SystemState(enum.Enum):
     S3 = "S3"                        # suspend to RAM
     S5 = "S5"                        # soft off
     WAKING = "waking"                # resuming toward S0
+    FAILED = "failed"                # crashed/dead until repaired (faults)
 
 
 class ResidencyCategory:
@@ -54,5 +55,6 @@ class ResidencyCategory:
     IDLE = "Idle"
     PKG_C6 = "PkgC6"
     SYS_SLEEP = "SysSleep"
+    FAILED = "Failed"
 
-    ALL = (ACTIVE, WAKE_UP, IDLE, PKG_C6, SYS_SLEEP)
+    ALL = (ACTIVE, WAKE_UP, IDLE, PKG_C6, SYS_SLEEP, FAILED)

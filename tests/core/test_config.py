@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.config import (
     CorePowerProfile,
+    FaultConfig,
     LinkConfig,
     PlatformPowerProfile,
     ProcessorConfig,
@@ -102,6 +103,49 @@ class TestJsonRoundTrip:
         config = LinkConfig(rate_bps=1e9, adaptive_rates_bps=(1e8, 1e9))
         rebuilt = LinkConfig.from_json(config.to_json())
         assert tuple(rebuilt.adaptive_rates_bps) == (1e8, 1e9)
+
+    def test_fault_config_roundtrip_with_trace(self):
+        config = FaultConfig(
+            enabled=True,
+            distribution="weibull",
+            server_mtbf_s=50.0,
+            slo_latency_s=0.1,
+            trace=((1.0, "server", "0", "fail"), (2.5, "server", "0", "repair")),
+        )
+        rebuilt = FaultConfig.from_json(config.to_json())
+        # JSON turns the trace tuples into lists; __post_init__ normalises
+        # them back so round-tripped configs compare equal.
+        assert rebuilt == config
+
+
+class TestFaultConfigValidation:
+    def test_disabled_by_default(self):
+        config = FaultConfig()
+        assert not config.enabled
+        assert not config.any_stochastic
+
+    def test_any_stochastic_requires_enabled_and_mtbf(self):
+        assert not FaultConfig(server_mtbf_s=10.0).any_stochastic
+        assert not FaultConfig(enabled=True).any_stochastic
+        assert FaultConfig(enabled=True, link_mtbf_s=30.0).any_stochastic
+
+    def test_rejects_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            FaultConfig(distribution="lognormal")
+
+    def test_rejects_negative_mtbf(self):
+        with pytest.raises(ValueError):
+            FaultConfig(server_mtbf_s=-1.0)
+
+    def test_rejects_nonpositive_mttr(self):
+        with pytest.raises(ValueError):
+            FaultConfig(switch_mttr_s=0.0)
+
+    def test_rejects_bad_retry_settings(self):
+        with pytest.raises(ValueError):
+            FaultConfig(retry_limit=-1)
+        with pytest.raises(ValueError):
+            FaultConfig(retry_backoff_factor=0.5)
 
 
 class TestStockProfiles:

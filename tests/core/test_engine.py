@@ -111,6 +111,35 @@ class TestCancellation:
         handles[3].cancel()
         assert engine.pending_count() == 3
 
+    def test_cancel_from_same_timestamp_callback(self, engine):
+        # An earlier same-timestamp event cancels a later one: FIFO ordering
+        # guarantees the cancellation lands before the victim fires.
+        fired = []
+        victim = engine.schedule(1.0, fired.append, "victim")
+        engine.schedule(1.0, fired.append, "survivor")
+        handle = engine.schedule(0.5, lambda: victim.cancel())
+        assert handle.pending
+        engine.run()
+        assert fired == ["survivor"]
+
+    def test_cancel_same_timestamp_sibling_scheduled_first(self, engine):
+        fired = []
+        holder = {}
+        engine.schedule(1.0, lambda: holder["victim"].cancel())
+        holder["victim"] = engine.schedule(1.0, fired.append, "victim")
+        engine.run()
+        assert fired == []
+
+    def test_peek_time_after_mass_cancellation(self, engine):
+        handles = [engine.schedule(float(i + 1), lambda: None) for i in range(50)]
+        for handle in handles[:49]:
+            handle.cancel()
+        # Lazy deletion must not surface a cancelled head.
+        assert engine.peek_time() == 50.0
+        handles[49].cancel()
+        assert engine.peek_time() is None
+        assert engine.pending_count() == 0
+
 
 class TestRunControl:
     def test_run_until_stops_clock_at_horizon(self, engine):
@@ -154,6 +183,45 @@ class TestRunControl:
         engine.schedule(0.0, loop)
         with pytest.raises(SimulationError):
             engine.run(max_events=100)
+
+    def test_max_events_executes_exactly_n(self, engine):
+        fired = []
+        for i in range(10):
+            engine.schedule(float(i), fired.append, i)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=4)
+        # Exactly 4 events ran before the guard tripped, not 5.
+        assert fired == [0, 1, 2, 3]
+        assert engine.pending_count() == 6
+
+    def test_max_events_draining_queue_exactly_is_not_an_error(self, engine):
+        fired = []
+        for i in range(5):
+            engine.schedule(float(i), fired.append, i)
+        engine.run(max_events=5)
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_max_events_run_resumable_after_guard(self, engine):
+        fired = []
+        for i in range(6):
+            engine.schedule(float(i), fired.append, i)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=3)
+        engine.run()
+        assert fired == [0, 1, 2, 3, 4, 5]
+
+    def test_stop_mid_queue_then_resume_runs_remainder(self, engine):
+        seen = []
+        engine.schedule(1.0, seen.append, 1)
+        engine.schedule(2.0, lambda: (seen.append(2), engine.stop()))
+        engine.schedule(3.0, seen.append, 3)
+        engine.schedule(4.0, seen.append, 4)
+        engine.run()
+        assert seen == [1, 2]
+        assert engine.pending_count() == 2
+        engine.run()
+        assert seen == [1, 2, 3, 4]
+        assert engine.now == 4.0
 
     def test_run_not_reentrant(self, engine):
         def nested():

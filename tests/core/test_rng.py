@@ -32,6 +32,23 @@ class TestRandomSource:
     def test_none_seed_defaults_to_zero(self):
         assert RandomSource(None).seed == 0
 
+    def test_new_consumer_does_not_perturb_existing_streams(self):
+        # Draws on a freshly derived stream (e.g. the fault injector's
+        # "faults" stream) must leave every other stream's sequence intact.
+        baseline_arrivals = list(RandomSource(7).stream("arrivals").random(10))
+        baseline_service = list(RandomSource(7).stream("service").random(10))
+        source = RandomSource(7)
+        faults = source.stream("faults")
+        faults.random(1000)  # a heavy fault-injection run
+        assert list(source.stream("arrivals").random(10)) == baseline_arrivals
+        assert list(source.stream("service").random(10)) == baseline_service
+
+    def test_faults_stream_is_independent(self):
+        source = RandomSource(7)
+        assert list(source.stream("faults").random(10)) != list(
+            source.stream("arrivals").random(10)
+        )
+
 
 class TestExponential:
     def test_rejects_nonpositive_rate(self, rng):

@@ -1,0 +1,217 @@
+"""Server failure semantics and scheduler-level recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import small_cloud_server
+from repro.core.engine import Engine
+from repro.core.rng import RandomSource
+from repro.experiments.common import build_farm, drive
+from repro.jobs.templates import single_task_job
+from repro.scheduling.policies import LeastLoadedPolicy
+from repro.server.server import Server
+from repro.server.states import ResidencyCategory, SystemState
+from repro.workload.arrivals import PoissonProcess
+from repro.workload.profiles import DeterministicService, SingleTaskJobFactory
+
+
+class TestServerFail:
+    def _server(self, engine, n_cores=1):
+        return Server(engine, small_cloud_server(n_cores=n_cores))
+
+    def test_fail_aborts_running_task(self):
+        engine = Engine()
+        server = self._server(engine)
+        task = single_task_job(1.0).tasks[0]
+        task.ready_time = 0.0
+        server.submit_task(task)
+        lost = []
+        engine.schedule(0.5, lambda: lost.extend(server.fail()))
+        engine.run(until=2.0)
+        assert lost == [task]
+        assert task.finish_time is None
+        assert server.system_state is SystemState.FAILED
+        assert server.is_failed
+        assert server.failure_count == 1
+
+    def test_fail_drains_queued_tasks(self):
+        engine = Engine()
+        server = self._server(engine, n_cores=1)
+        tasks = []
+        for _ in range(3):
+            task = single_task_job(1.0).tasks[0]
+            task.ready_time = 0.0
+            server.submit_task(task)
+            tasks.append(task)
+        lost = []
+        engine.schedule(0.5, lambda: lost.extend(server.fail()))
+        engine.run(until=2.0)
+        # One running + two queued, all returned, none completed.
+        assert set(lost) == set(tasks)
+        assert server.tasks_completed == 0
+
+    def test_failed_server_draws_no_power(self):
+        engine = Engine()
+        server = self._server(engine)
+        engine.schedule(1.0, server.fail)
+        engine.run(until=2.0)
+        assert server.power_w == 0.0
+        energy_at_fail = server.total_energy_j(1.0)
+        assert server.total_energy_j(2.0) == pytest.approx(energy_at_fail)
+
+    def test_failed_residency_category(self):
+        engine = Engine()
+        server = self._server(engine)
+        engine.schedule(1.0, server.fail)
+        engine.run(until=2.0)
+        fractions = server.residency_fractions(2.0)
+        assert fractions[ResidencyCategory.FAILED] == pytest.approx(0.5)
+
+    def test_submit_to_failed_server_raises(self):
+        engine = Engine()
+        server = self._server(engine)
+        server.fail()
+        task = single_task_job(1.0).tasks[0]
+        task.ready_time = 0.0
+        with pytest.raises(RuntimeError):
+            server.submit_task(task)
+
+    def test_fail_twice_is_noop(self):
+        engine = Engine()
+        server = self._server(engine)
+        assert server.fail() == []
+        assert server.fail() == []
+        assert server.failure_count == 1
+
+    def test_repair_restores_service(self):
+        engine = Engine()
+        server = self._server(engine)
+        engine.schedule(0.5, server.fail)
+        engine.schedule(1.0, server.repair)
+
+        def resubmit():
+            task = single_task_job(0.25).tasks[0]
+            task.ready_time = engine.now
+            server.submit_task(task)
+            resubmit.task = task
+
+        engine.schedule(1.5, resubmit)
+        engine.run()
+        assert server.system_state is SystemState.S0
+        assert server.repair_count == 1
+        assert resubmit.task.finish_time == pytest.approx(1.75, abs=0.01)
+
+    def test_repair_without_failure_is_noop(self):
+        engine = Engine()
+        server = self._server(engine)
+        assert server.repair() is False
+        assert server.repair_count == 0
+
+
+class TestSchedulerRecovery:
+    def test_lost_tasks_redispatch_to_surviving_server(self):
+        farm = build_farm(2, small_cloud_server(n_cores=1), policy=LeastLoadedPolicy())
+        scheduler = farm.scheduler
+        job = single_task_job(1.0)
+        scheduler.submit_job(job)
+        victim = farm.servers[job.tasks[0].server_id]
+        survivor = [s for s in farm.servers if s is not victim][0]
+
+        def crash():
+            lost = victim.fail()
+            scheduler.on_server_failed(victim, lost)
+
+        farm.engine.schedule(0.5, crash)
+        farm.engine.run(until=10.0)
+        assert scheduler.jobs_completed == 1
+        assert scheduler.tasks_lost == 1
+        assert scheduler.tasks_retried == 1
+        assert job.tasks[0].finish_time is not None
+        assert survivor.tasks_completed == 1
+
+    def test_failed_server_excluded_from_placement(self):
+        farm = build_farm(2, small_cloud_server(n_cores=1), policy=LeastLoadedPolicy())
+        scheduler = farm.scheduler
+        victim = farm.servers[0]
+        scheduler.on_server_failed(victim, victim.fail())
+        for _ in range(4):
+            scheduler.submit_job(single_task_job(0.1))
+        farm.engine.run(until=5.0)
+        assert scheduler.jobs_completed == 4
+        assert victim.tasks_completed == 0
+        assert farm.servers[1].tasks_completed == 4
+
+    def test_retry_budget_exhaustion_fails_job(self):
+        farm = build_farm(1, small_cloud_server(n_cores=1), policy=LeastLoadedPolicy())
+        scheduler = farm.scheduler
+        scheduler.retry_limit = 2
+        job = single_task_job(1.0)
+        scheduler.submit_job(job)
+        server = farm.servers[0]
+        farm.engine.schedule(0.1, lambda: scheduler.on_server_failed(server, server.fail()))
+        # The server never comes back: retries burn out against an empty farm.
+        farm.engine.run(until=30.0)
+        assert job.failed
+        assert scheduler.jobs_failed == 1
+        assert scheduler.tasks_abandoned == 1
+        assert scheduler.active_jobs == 0
+        assert scheduler.jobs_completed == 0
+
+    def test_retry_backoff_delays_redispatch(self):
+        farm = build_farm(2, small_cloud_server(n_cores=1), policy=LeastLoadedPolicy())
+        scheduler = farm.scheduler
+        scheduler.retry_backoff_s = 1.0
+        scheduler.retry_backoff_factor = 2.0
+        job = single_task_job(2.0)
+        scheduler.submit_job(job)
+        victim = farm.servers[job.tasks[0].server_id]
+        farm.engine.schedule(0.5, lambda: scheduler.on_server_failed(victim, victim.fail()))
+        farm.engine.run(until=10.0)
+        # First retry waits backoff 1.0 s: re-dispatched at 1.5, runs 2.0 s.
+        assert job.tasks[0].finish_time == pytest.approx(3.5, abs=0.01)
+
+    def test_on_job_failed_callback_fires(self):
+        farm = build_farm(1, small_cloud_server(n_cores=1), policy=LeastLoadedPolicy())
+        scheduler = farm.scheduler
+        scheduler.retry_limit = 0
+        failed_jobs = []
+        scheduler.on_job_failed = failed_jobs.append
+        job = single_task_job(1.0)
+        scheduler.submit_job(job)
+        server = farm.servers[0]
+        farm.engine.schedule(0.1, lambda: scheduler.on_server_failed(server, server.fail()))
+        farm.engine.run(until=5.0)
+        assert failed_jobs == [job]
+
+    def test_slo_violations_counted(self):
+        farm = build_farm(2, small_cloud_server(n_cores=2), policy=LeastLoadedPolicy())
+        farm.scheduler.slo_latency_s = 1e-6  # everything violates
+        rng = RandomSource(3)
+        factory = SingleTaskJobFactory(DeterministicService(0.01), rng.stream("s"))
+        drive(farm, PoissonProcess(100.0, rng.stream("a")), factory,
+              duration_s=1.0, drain=True)
+        assert farm.scheduler.slo_violations == farm.scheduler.jobs_completed
+        assert farm.scheduler.slo_violations > 0
+
+    def test_repaired_server_serves_again(self):
+        farm = build_farm(2, small_cloud_server(n_cores=1), policy=LeastLoadedPolicy())
+        scheduler = farm.scheduler
+        victim = farm.servers[0]
+        scheduler.on_server_failed(victim, victim.fail())
+
+        def mend():
+            victim.repair()
+            scheduler.on_server_repaired(victim)
+
+        farm.engine.schedule(1.0, mend)
+
+        def late_jobs():
+            for _ in range(4):
+                scheduler.submit_job(single_task_job(0.5))
+
+        farm.engine.schedule(1.5, late_jobs)
+        farm.engine.run(until=10.0)
+        assert scheduler.jobs_completed == 4
+        # Load-balancing spreads across both servers again post-repair.
+        assert victim.tasks_completed > 0
