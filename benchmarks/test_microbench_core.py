@@ -39,6 +39,43 @@ def test_engine_event_throughput(benchmark):
     assert benchmark(run) == 10_000
 
 
+def test_engine_post_throughput(benchmark):
+    """Fire-and-forget tuple fast path: 10K chained post() events."""
+
+    def run():
+        engine = Engine()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                engine.post(0.001, tick)
+
+        engine.post(0.0, tick)
+        engine.run()
+        return count[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_engine_schedule_cancel_churn(benchmark):
+    """10K schedule+cancel pairs — the delay-timer rearm pattern.
+
+    Every timer is cancelled before firing, so this also measures lazy
+    deletion plus heap compaction.
+    """
+
+    def run():
+        engine = Engine()
+        noop = int
+        for i in range(10_000):
+            engine.schedule(1.0 + (i % 50), noop).cancel()
+        engine.run()
+        return engine.queued_count()
+
+    assert benchmark(run) == 0
+
+
 def test_server_task_churn(benchmark):
     """Push 5K short tasks through a 4-server farm (full stack)."""
 

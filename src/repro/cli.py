@@ -8,11 +8,18 @@ the paper's figure reports::
     python -m repro provisioning --servers 20 --duration 120
     python -m repro delay-timer --workload web-search --taus 0 0.01 0.1 1 5
     python -m repro residency --utilizations 0.1 0.3 0.6
-    python -m repro joint --jobs 500
+    python -m repro joint --num-jobs 500
     python -m repro validate-server
     python -m repro validate-switch --duration 1800
     python -m repro scalability --servers 20480
     python -m repro faults --mtbfs 120 60 30 --retry-limit 3
+    python -m repro bench --quick
+
+Every subcommand accepts ``--jobs N`` to evaluate independent sweep points
+on N worker processes (results are bit-identical to ``--jobs 1``; commands
+that run a single simulation accept and ignore it).  ``repro bench`` runs
+the core microbenchmarks and records the performance trajectory in
+``BENCH_core.json``.
 
 Use ``--help`` on any subcommand for its knobs.
 """
@@ -59,19 +66,43 @@ def _workload(name: str) -> WorkloadProfile:
         ) from None
 
 
+def _parse_threshold_pairs(specs: List[str]) -> List[tuple]:
+    pairs = []
+    for spec in specs:
+        try:
+            lo, hi = (float(part) for part in spec.split(":"))
+        except ValueError:
+            raise SystemExit(
+                f"bad threshold pair {spec!r}; expected MIN:MAX (e.g. 0.5:1.5)"
+            ) from None
+        pairs.append((lo, hi))
+    return pairs
+
+
 def _cmd_provisioning(args: argparse.Namespace) -> None:
     trace = None
     if args.trace is not None:
         trace = ArrivalTrace.from_file(args.trace).clipped(args.duration)
-    result = provisioning.run_provisioning(
+    shared = dict(
         n_servers=args.servers,
         duration_s=args.duration,
         mean_rate=args.rate,
         day_length_s=args.day_length,
-        min_load_per_server=args.min_load,
-        max_load_per_server=args.max_load,
         seed=args.seed,
         trace=trace,
+    )
+    if args.sweep_thresholds:
+        sweep = provisioning.run_provisioning_sweep(
+            _parse_threshold_pairs(args.sweep_thresholds),
+            jobs=args.jobs,
+            **shared,
+        )
+        print(sweep.render())
+        return
+    result = provisioning.run_provisioning(
+        min_load_per_server=args.min_load,
+        max_load_per_server=args.max_load,
+        **shared,
     )
     print(result.render())
 
@@ -103,6 +134,7 @@ def _cmd_delay_timer(args: argparse.Namespace) -> None:
         n_cores=args.cores,
         duration_s=args.duration,
         seed=args.seed,
+        jobs=args.jobs,
     )
     print(sweep.render())
 
@@ -115,6 +147,7 @@ def _cmd_residency(args: argparse.Namespace) -> None:
         n_cores=args.cores,
         duration_s=args.duration,
         seed=args.seed,
+        jobs=args.jobs,
     )
     print(result.render())
 
@@ -123,8 +156,9 @@ def _cmd_joint(args: argparse.Namespace) -> None:
     comparison = joint_energy.run_joint_comparison(
         utilizations=args.utilizations,
         k=args.fat_tree_k,
-        n_jobs=args.jobs,
+        n_jobs=args.num_jobs,
         seed=args.seed,
+        jobs=args.jobs,
     )
     print(comparison.render())
 
@@ -158,15 +192,37 @@ def _cmd_faults(args: argparse.Namespace) -> None:
         slo_latency_s=args.slo,
         seed=args.seed,
         profile=_workload(args.workload),
+        jobs=args.jobs,
     )
     print(sweep.render())
 
 
 def _cmd_scalability(args: argparse.Namespace) -> None:
+    if args.sizes:
+        sweep = scalability.run_scalability_sweep(
+            args.sizes, n_jobs=args.num_jobs, seed=args.seed, jobs=args.jobs
+        )
+        print(sweep.render())
+        return
     result = scalability.run_scalability(
-        n_servers=args.servers, n_jobs=args.jobs, seed=args.seed
+        n_servers=args.servers, n_jobs=args.num_jobs, seed=args.seed
     )
     print(result.render())
+
+
+def _cmd_bench(args: argparse.Namespace) -> None:
+    from repro.runner import bench
+
+    code = bench.main(
+        out=args.out,
+        quick=args.quick,
+        sweep_jobs=max(2, args.jobs) if args.jobs > 1 else 4,
+        skip_sweep=args.skip_sweep,
+        check_against=args.check_against,
+        tolerance=args.tolerance,
+    )
+    if code:
+        raise SystemExit(code)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -178,6 +234,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--seed", type=int, default=1, help="root RNG seed")
+        p.add_argument(
+            "-j", "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for independent sweep points "
+                 "(results are identical to --jobs 1)",
+        )
 
     p = sub.add_parser("provisioning", help="Fig. 4: threshold provisioning")
     p.add_argument("--servers", type=int, default=50)
@@ -188,6 +249,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-load", type=float, default=1.0)
     p.add_argument("--trace", default=None,
                    help="replay an arrival trace file instead of synthesizing")
+    p.add_argument("--sweep-thresholds", nargs="+", metavar="MIN:MAX",
+                   help="sweep (min,max) load threshold pairs instead of a "
+                        "single run, e.g. --sweep-thresholds 0.25:1.0 0.5:1.5")
     common(p)
     p.set_defaults(fn=_cmd_provisioning)
 
@@ -224,7 +288,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("joint", help="Fig. 11: joint server-network energy")
     p.add_argument("--utilizations", type=float, nargs="+", default=[0.3, 0.6])
     p.add_argument("--fat-tree-k", type=int, default=4)
-    p.add_argument("--jobs", type=int, default=2000)
+    p.add_argument("--num-jobs", type=int, default=2000,
+                   help="simulated jobs per grid point")
     common(p)
     p.set_defaults(fn=_cmd_joint)
 
@@ -260,9 +325,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("scalability", help="Table I: >20K-server scalability")
     p.add_argument("--servers", type=int, default=20_480)
-    p.add_argument("--jobs", type=int, default=200_000)
+    p.add_argument("--num-jobs", type=int, default=200_000,
+                   help="simulated jobs to push through the farm")
+    p.add_argument("--sizes", type=int, nargs="+", metavar="N",
+                   help="sweep several farm sizes instead of a single run")
     common(p)
     p.set_defaults(fn=_cmd_scalability)
+
+    p = sub.add_parser(
+        "bench",
+        help="run core microbenchmarks and record BENCH_core.json",
+    )
+    p.add_argument("--out", default="BENCH_core.json",
+                   help="output JSON path ('' to skip writing)")
+    p.add_argument("--quick", action="store_true",
+                   help="reduced sizes for CI smoke runs")
+    p.add_argument("--skip-sweep", action="store_true",
+                   help="skip the jobs=1 vs jobs=N sweep wall-clock comparison")
+    p.add_argument("--check-against", default=None, metavar="BASELINE",
+                   help="compare against a baseline BENCH_core.json and exit "
+                        "non-zero on regression")
+    p.add_argument("--tolerance", type=float, default=0.30,
+                   help="allowed fractional throughput drop vs baseline")
+    common(p)
+    p.set_defaults(fn=_cmd_bench)
 
     return parser
 

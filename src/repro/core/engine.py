@@ -3,19 +3,43 @@
 HolDCSim is an event-driven simulator; this module is its heart.  The engine
 keeps a binary heap of pending events ordered by ``(time, sequence)`` so that
 execution is globally time-ordered and FIFO-stable among events scheduled for
-the same instant.  Events are plain callbacks; scheduling returns an
-:class:`EventHandle` that can be cancelled, which is how delay timers, LPI
-timers and wake races are implemented throughout the simulator.
+the same instant.
 
-The engine is deliberately minimal and fast: simulating a >20K-server farm
-(Table I of the paper) pushes millions of events through this loop, so the
-hot path avoids allocation beyond the heap entry itself.
+Two scheduling surfaces share the heap:
+
+* :meth:`Engine.post` / :meth:`Engine.post_at` — the **fast path**.  The heap
+  entry is a plain ``(time, seq, callback, args)`` tuple; nothing else is
+  allocated and heap sifts compare tuples in C.  Use it for the
+  overwhelmingly common fire-and-forget events (task completions, arrivals,
+  packet hops, periodic controller ticks).
+* :meth:`Engine.schedule` / :meth:`Engine.schedule_at` — the **cancellable
+  path**.  An :class:`EventHandle` is materialised only here, for callers
+  that keep the return value to :meth:`EventHandle.cancel` later (delay
+  timers, LPI timers, wake races).  The heap entry is ``(time, seq, None,
+  handle)`` so entries stay homogeneous tuples; because ``seq`` is unique,
+  comparisons never reach the payload slots.
+
+Cancellation is lazy (the entry stays queued and is skipped when popped),
+which keeps ``cancel()`` O(1).  Policies that cancel constantly — delay
+timers rearm on every task — would otherwise grow the heap without bound, so
+the engine compacts it whenever cancelled entries outnumber live ones (and
+the heap is big enough for compaction to pay for itself).
+
+Simulating a >20K-server farm (Table I of the paper) pushes millions of
+events through this loop; :meth:`Engine.run` inlines the pop-dispatch cycle
+and avoids allocation beyond the heap entry itself.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
+
+#: Compaction is considered once the heap holds at least this many entries;
+#: below it, lazily dropping cancelled entries on pop is cheaper than a sweep.
+COMPACTION_MIN_HEAP = 64
+
+_Entry = Tuple[float, int, Optional[Callable[..., Any]], Any]
 
 
 class SimulationError(RuntimeError):
@@ -27,31 +51,45 @@ class SimulationError(RuntimeError):
 
 
 class EventHandle:
-    """A scheduled event.
+    """A cancellable scheduled event.
 
     Instances are created by :meth:`Engine.schedule` /
     :meth:`Engine.schedule_at` and should not be constructed directly.  The
     only public operation is :meth:`cancel`; a cancelled event stays in the
     heap but is skipped when popped (lazy deletion), which keeps cancellation
-    O(1).
+    O(1).  The owning engine counts cancellations and periodically compacts
+    the heap when they dominate.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_engine")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        engine: Optional["Engine"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback: Optional[Callable[..., Any]] = callback
         self.args = args
         self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Cancel this event; cancelling twice (or after firing) is a no-op."""
+        if self.cancelled:
+            return
+        still_queued = self.callback is not None
         self.cancelled = True
         # Drop references so cancelled timers do not pin large object graphs
         # (servers, switches) until their heap entry is finally popped.
         self.callback = None
         self.args = ()
+        if still_queued and self._engine is not None:
+            self._engine._note_cancelled()
 
     @property
     def pending(self) -> bool:
@@ -74,22 +112,25 @@ class Engine:
     Typical use::
 
         engine = Engine()
-        engine.schedule(1.5, server.wake)
+        engine.post(1.0, server.tick)          # fire-and-forget (fast path)
+        handle = engine.schedule(1.5, server.wake)   # cancellable
         engine.run(until=3600.0)
 
     Invariants (covered by property-based tests):
 
     * callbacks execute in non-decreasing time order;
-    * two events scheduled for the same time run in scheduling order;
+    * two events scheduled for the same time run in scheduling order,
+      regardless of which scheduling surface queued them;
     * ``engine.now`` equals the firing event's timestamp inside callbacks.
     """
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._heap: List[EventHandle] = []
+        self._heap: List[_Entry] = []
         self._seq = 0
         self._running = False
         self._stopped = False
+        self._cancelled = 0  # cancelled EventHandles still sitting in the heap
         self.events_executed = 0
 
     # ------------------------------------------------------------------
@@ -101,7 +142,30 @@ class Engine:
         return self._now
 
     # ------------------------------------------------------------------
-    # Scheduling
+    # Scheduling — fast (fire-and-forget) path
+    # ------------------------------------------------------------------
+    def post_at(self, time: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``callback(*args)`` at absolute ``time``; not cancellable.
+
+        This is the hot path: the heap entry is a plain tuple and no handle
+        is allocated.  Use :meth:`schedule_at` when the event may need to be
+        cancelled.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before current time t={self._now}"
+            )
+        heapq.heappush(self._heap, (time, self._seq, callback, args))
+        self._seq += 1
+
+    def post(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``callback(*args)`` after ``delay`` seconds; not cancellable."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.post_at(self._now + delay, callback, *args)
+
+    # ------------------------------------------------------------------
+    # Scheduling — cancellable path
     # ------------------------------------------------------------------
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute simulation ``time``."""
@@ -109,9 +173,9 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at t={time} before current time t={self._now}"
             )
-        handle = EventHandle(time, self._seq, callback, args)
+        handle = EventHandle(time, self._seq, callback, args, self)
+        heapq.heappush(self._heap, (time, self._seq, None, handle))
         self._seq += 1
-        heapq.heappush(self._heap, handle)
         return handle
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
@@ -128,22 +192,28 @@ class Engine:
         self._drop_cancelled_head()
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][0]
 
     def step(self) -> bool:
         """Execute the next pending event.  Returns False if none remain."""
-        self._drop_cancelled_head()
-        if not self._heap:
-            return False
-        handle = heapq.heappop(self._heap)
-        self._now = handle.time
-        callback, args = handle.callback, handle.args
-        # Mark fired before invoking so `pending` is False inside the callback.
-        handle.callback = None
-        handle.args = ()
-        self.events_executed += 1
-        callback(*args)
-        return True
+        heap = self._heap
+        while heap:
+            time, _seq, callback, args = heapq.heappop(heap)
+            if callback is None:
+                handle: EventHandle = args
+                if handle.cancelled:
+                    self._cancelled -= 1
+                    continue
+                callback, args = handle.callback, handle.args
+                # Mark fired before invoking so `pending` is False inside
+                # the callback.
+                handle.callback = None
+                handle.args = ()
+            self._now = time
+            self.events_executed += 1
+            callback(*args)
+            return True
+        return False
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run the event loop.
@@ -161,17 +231,31 @@ class Engine:
         self._running = True
         self._stopped = False
         executed = 0
+        pop = heapq.heappop
         try:
             while not self._stopped:
-                self._drop_cancelled_head()
-                if not self._heap:
+                # Re-read the heap each iteration: compaction (triggered by
+                # cancellations inside callbacks) rebinds the list.
+                heap = self._heap
+                while heap and heap[0][2] is None and heap[0][3].cancelled:
+                    pop(heap)
+                    self._cancelled -= 1
+                if not heap:
                     break
-                if until is not None and self._heap[0].time > until:
+                if until is not None and heap[0][0] > until:
                     break
                 if max_events is not None and executed >= max_events:
                     raise SimulationError(f"exceeded max_events={max_events}")
-                self.step()
+                time, _seq, callback, args = pop(heap)
+                if callback is None:
+                    handle: EventHandle = args
+                    callback, args = handle.callback, handle.args
+                    handle.callback = None
+                    handle.args = ()
+                self._now = time
+                self.events_executed += 1
                 executed += 1
+                callback(*args)
         finally:
             self._running = False
         if until is not None and self._now < until and not self._stopped:
@@ -186,12 +270,41 @@ class Engine:
     # ------------------------------------------------------------------
     def pending_count(self) -> int:
         """Number of non-cancelled events still queued (O(n); for tests)."""
-        return sum(1 for h in self._heap if h.pending)
+        return sum(
+            1
+            for entry in self._heap
+            if entry[2] is not None or entry[3].pending
+        )
+
+    def queued_count(self) -> int:
+        """Raw heap length including lazily-deleted entries (O(1))."""
+        return len(self._heap)
+
+    def _note_cancelled(self) -> None:
+        """A queued handle was cancelled; compact when garbage dominates."""
+        self._cancelled += 1
+        if self._cancelled * 2 > len(self._heap) >= COMPACTION_MIN_HEAP:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        Entries carry their original ``(time, seq)`` keys, so re-heapifying
+        the survivors preserves both time ordering and same-time FIFO order.
+        """
+        self._heap = [
+            entry
+            for entry in self._heap
+            if entry[2] is not None or not entry[3].cancelled
+        ]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
     def _drop_cancelled_head(self) -> None:
         heap = self._heap
-        while heap and heap[0].cancelled:
+        while heap and heap[0][2] is None and heap[0][3].cancelled:
             heapq.heappop(heap)
+            self._cancelled -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Engine t={self._now:.6f} queued={len(self._heap)}>"

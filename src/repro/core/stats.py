@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import bisect
 import math
+from array import array
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -202,12 +203,29 @@ class AvailabilityTracker:
         return f"<AvailabilityTracker {self.name} {state} failures={self.failures}>"
 
 
-@dataclass
 class CdfResult:
-    """An empirical CDF: ``values[i]`` has cumulative probability ``probs[i]``."""
+    """An empirical CDF: ``values[i]`` has cumulative probability ``probs[i]``.
 
-    values: List[float]
-    probs: List[float]
+    ``values`` is a *view* of the collector's sorted sample storage, not a
+    copy — on a 20K-server run the sample set is millions of floats, and the
+    CDF used to double that allocation.  ``probs`` is materialised lazily on
+    first access (``quantile`` and rendering code touch it; many callers
+    never do).  Treat both as read-only.
+    """
+
+    __slots__ = ("values", "_probs")
+
+    def __init__(self, values: Sequence[float], probs: Optional[Sequence[float]] = None):
+        self.values = values
+        self._probs = probs
+
+    @property
+    def probs(self) -> Sequence[float]:
+        """Cumulative probability per value, built on first access."""
+        if self._probs is None:
+            n = len(self.values)
+            self._probs = array("d", ((i + 1) / n for i in range(n)))
+        return self._probs
 
     def quantile(self, p: float) -> float:
         """Smallest value with cumulative probability >= p."""
@@ -219,18 +237,25 @@ class CdfResult:
         idx = min(idx, len(self.values) - 1)
         return self.values[idx]
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CdfResult(n={len(self.values)})"
+
 
 class LatencyCollector:
-    """Collect latency (or any scalar) samples and answer distribution queries."""
+    """Collect latency (or any scalar) samples and answer distribution queries.
+
+    Samples are stored in an ``array('d')`` (8 bytes per sample, no per-float
+    object) so collectors stay compact on multi-million-job runs.
+    """
 
     def __init__(self, name: str = "latency"):
         self.name = name
-        self._samples: List[float] = []
-        self._sorted: Optional[List[float]] = None
+        self._samples: array = array("d")
+        self._sorted: Optional[array] = None
 
     def record(self, value: float) -> None:
         """Add one sample."""
-        self._samples.append(float(value))
+        self._samples.append(value)
         self._sorted = None
 
     def __len__(self) -> int:
@@ -238,8 +263,11 @@ class LatencyCollector:
 
     @property
     def samples(self) -> Sequence[float]:
-        """All recorded samples in arrival order."""
-        return tuple(self._samples)
+        """All recorded samples in arrival order (read-only by convention).
+
+        Returns the backing ``array('d')`` without copying; do not mutate.
+        """
+        return self._samples
 
     def mean(self) -> float:
         """Arithmetic mean; raises on empty collector."""
@@ -266,26 +294,34 @@ class LatencyCollector:
         return self._sorted_samples()[-1]
 
     def cdf(self) -> CdfResult:
-        """The empirical CDF of all samples."""
+        """The empirical CDF of all samples.
+
+        The result shares the collector's sorted sample storage (no copy);
+        its probabilities are computed lazily on first access.
+        """
         data = self._sorted_samples()
         if not data:
             raise ValueError(f"no samples recorded in {self.name!r}")
-        n = len(data)
-        return CdfResult(values=list(data), probs=[(i + 1) / n for i in range(n)])
+        return CdfResult(values=data)
 
-    def _sorted_samples(self) -> List[float]:
+    def _sorted_samples(self) -> array:
         if self._sorted is None:
-            self._sorted = sorted(self._samples)
+            self._sorted = array("d", sorted(self._samples))
         return self._sorted
 
 
 @dataclass
 class TimeSeries:
-    """A sampled time series: parallel ``times`` and ``values`` lists."""
+    """A sampled time series: parallel ``times`` and ``values`` arrays.
+
+    Backed by ``array('d')`` so long power-over-time traces (one sample per
+    probe per interval across a 20K-server run) cost 16 bytes per point
+    instead of two boxed floats plus list slots.
+    """
 
     name: str
-    times: List[float] = field(default_factory=list)
-    values: List[float] = field(default_factory=list)
+    times: Sequence[float] = field(default_factory=lambda: array("d"))
+    values: Sequence[float] = field(default_factory=lambda: array("d"))
 
     def append(self, t: float, v: float) -> None:
         self.times.append(t)

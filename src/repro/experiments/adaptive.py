@@ -26,6 +26,7 @@ from repro.core.rng import RandomSource
 from repro.experiments.common import Farm, build_farm, drive
 from repro.power.adaptive import AdaptivePoolManager
 from repro.power.controller import DelayTimerController
+from repro.runner import SweepSpec, run_sweep
 from repro.scheduling.policies import LeastLoadedPolicy, PackingPolicy
 from repro.server.states import ResidencyCategory
 from repro.workload.arrivals import TraceProcess, arrival_rate_for_utilization
@@ -82,6 +83,34 @@ def _build_adaptive_farm(
     return farm
 
 
+def run_residency_point(
+    utilization: float,
+    profile: WorkloadProfile,
+    n_servers: int = 10,
+    n_cores: int = 10,
+    duration_s: float = 60.0,
+    day_length_s: float = 40.0,
+    t_wakeup: float = 8.0,
+    t_sleep: float = 2.0,
+    seed: int = 3,
+    server_config: Optional[ServerConfig] = None,
+) -> Dict[str, object]:
+    """One Fig. 8 cell: residency fractions and p95 latency at one rho.
+
+    Module-level (and returning only plain data) so sweep workers can
+    pickle the call and its result.
+    """
+    farm = _build_adaptive_farm(
+        utilization, profile, n_servers, n_cores, duration_s, day_length_s,
+        seed, t_wakeup, t_sleep, server_config,
+    )
+    latency = farm.scheduler.job_latency
+    return {
+        "residency": farm.mean_residency_fractions(),
+        "p95_latency_s": latency.percentile(95) if len(latency) else float("nan"),
+    }
+
+
 @dataclass
 class ResidencyResult:
     """Fig. 8: residency fractions per utilization level."""
@@ -122,18 +151,31 @@ def run_state_residency(
     t_sleep: float = 2.0,
     seed: int = 3,
     server_config: Optional[ServerConfig] = None,
+    jobs: int = 1,
 ) -> ResidencyResult:
-    """The Fig. 8 sweep for one workload."""
+    """The Fig. 8 sweep for one workload (utilization points in parallel
+    when ``jobs > 1``)."""
+    spec = SweepSpec("state-residency")
+    for utilization in utilizations:
+        spec.add(
+            run_residency_point,
+            utilization=utilization,
+            profile=profile,
+            n_servers=n_servers,
+            n_cores=n_cores,
+            duration_s=duration_s,
+            day_length_s=day_length_s,
+            t_wakeup=t_wakeup,
+            t_sleep=t_sleep,
+            seed=seed,
+            server_config=server_config,
+        )
+    cells = run_sweep(spec, jobs=jobs)
     residency: Dict[float, Dict[str, float]] = {}
     p95: Dict[float, float] = {}
-    for utilization in utilizations:
-        farm = _build_adaptive_farm(
-            utilization, profile, n_servers, n_cores, duration_s, day_length_s,
-            seed, t_wakeup, t_sleep, server_config,
-        )
-        residency[utilization] = farm.mean_residency_fractions()
-        latency = farm.scheduler.job_latency
-        p95[utilization] = latency.percentile(95) if len(latency) else float("nan")
+    for utilization, cell in zip(utilizations, cells):
+        residency[utilization] = cell["residency"]
+        p95[utilization] = cell["p95_latency_s"]
     return ResidencyResult(
         workload=profile.name,
         utilizations=list(utilizations),

@@ -20,6 +20,7 @@ from repro.core.config import ServerConfig, onoff_cloud_server
 from repro.core.rng import RandomSource
 from repro.experiments.common import build_farm, drive
 from repro.power.controller import AlwaysOnController, DelayTimerController
+from repro.runner import SweepSpec, run_sweep
 from repro.scheduling.policies import PackingPolicy
 from repro.workload.arrivals import PoissonProcess, arrival_rate_for_utilization
 from repro.workload.profiles import WorkloadProfile
@@ -139,23 +140,29 @@ def run_delay_timer_sweep(
     duration_s: float = 30.0,
     seed: int = 1,
     server_config: Optional[ServerConfig] = None,
+    jobs: int = 1,
 ) -> DelayTimerSweep:
-    """The full Fig. 5 sweep for one workload."""
-    points = []
+    """The full Fig. 5 sweep for one workload.
+
+    ``jobs > 1`` evaluates the (utilization x tau) grid on a process pool;
+    every point carries the same explicit ``seed``, so results are
+    bit-identical to the sequential run.
+    """
+    spec = SweepSpec("delay-timer")
     for utilization in utilizations:
         for tau in tau_values:
-            points.append(
-                run_delay_timer_point(
-                    tau,
-                    utilization,
-                    profile,
-                    n_servers=n_servers,
-                    n_cores=n_cores,
-                    duration_s=duration_s,
-                    seed=seed,
-                    server_config=server_config,
-                )
+            spec.add(
+                run_delay_timer_point,
+                tau_s=tau,
+                utilization=utilization,
+                profile=profile,
+                n_servers=n_servers,
+                n_cores=n_cores,
+                duration_s=duration_s,
+                seed=seed,
+                server_config=server_config,
             )
+    points = run_sweep(spec, jobs=jobs)
     return DelayTimerSweep(
         workload=profile.name,
         tau_values=list(tau_values),

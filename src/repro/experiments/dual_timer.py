@@ -24,6 +24,7 @@ from repro.core.rng import RandomSource
 from repro.experiments.common import build_farm, drive
 from repro.experiments.delay_timer import run_delay_timer_point
 from repro.power.dual_delay import DualDelayTimerPolicy
+from repro.runner import SweepSpec, run_sweep
 from repro.scheduling.policies import PackingPolicy
 from repro.workload.arrivals import PoissonProcess, arrival_rate_for_utilization
 from repro.workload.profiles import WorkloadProfile
@@ -128,6 +129,7 @@ def run_dual_timer_point(
     tau_low_values: Sequence[float] = (0.05, 0.2),
     latency_slack: float = 3.0,
     server_config: Optional[ServerConfig] = None,
+    jobs: int = 1,
 ) -> DualTimerResult:
     """One Fig. 6 bar: best dual configuration vs baseline and single timer.
 
@@ -138,23 +140,26 @@ def run_dual_timer_point(
     single timer can always burn latency for joules by sleeping harder;
     comparing against it would be comparing different QoS regimes.)  If no
     single-timer setting meets the constraint, the lowest-energy one is used.
+
+    The search runs in two sweep stages — baseline + single-timer grid, then
+    the dual-timer grid (whose tau_high depends on the best single) — each
+    parallelisable with ``jobs > 1``.
     """
-    base = run_delay_timer_point(
-        None, utilization, profile, n_servers, n_cores, duration_s, seed,
+    shared = dict(
+        utilization=utilization, profile=profile, n_servers=n_servers,
+        n_cores=n_cores, duration_s=duration_s, seed=seed,
         server_config=server_config,
     )
+    single_spec = SweepSpec("dual-timer/singles")
+    for tau in (None, *single_taus):
+        single_spec.add(run_delay_timer_point, tau_s=tau, **shared)
+    base, *singles = run_sweep(single_spec, jobs=jobs)
     qos_p90 = latency_slack * max(base.p90_latency_s, 1e-9)
-    singles = [
-        run_delay_timer_point(
-            tau, utilization, profile, n_servers, n_cores, duration_s, seed,
-            server_config=server_config,
-        )
-        for tau in single_taus
-    ]
     feasible = [p for p in singles if p.p90_latency_s <= qos_p90]
     best_single = min(feasible or singles, key=lambda p: p.energy_j)
 
-    best_dual: Optional[Tuple[float, float, DualTimerConfig]] = None
+    dual_spec = SweepSpec("dual-timer/duals")
+    candidates = []
     for fraction in pool_fractions:
         for tau_low in tau_low_values:
             cand = DualTimerConfig(
@@ -162,14 +167,14 @@ def run_dual_timer_point(
                 tau_high_s=max(best_single.tau_s, 4 * tau_low),
                 tau_low_s=tau_low,
             )
-            energy, p90 = run_dual_timer_config(
-                cand, utilization, profile, n_servers, n_cores, duration_s, seed,
-                server_config=server_config,
-            )
-            if math.isfinite(p90) and p90 > qos_p90:
-                continue
-            if best_dual is None or energy < best_dual[0]:
-                best_dual = (energy, p90, cand)
+            candidates.append(cand)
+            dual_spec.add(run_dual_timer_config, config=cand, **shared)
+    best_dual: Optional[Tuple[float, float, DualTimerConfig]] = None
+    for cand, (energy, p90) in zip(candidates, run_sweep(dual_spec, jobs=jobs)):
+        if math.isfinite(p90) and p90 > qos_p90:
+            continue
+        if best_dual is None or energy < best_dual[0]:
+            best_dual = (energy, p90, cand)
     if best_dual is None:
         # No configuration met the latency constraint; fall back to the best
         # single timer expressed as a degenerate dual config.

@@ -18,6 +18,7 @@ from repro.core.config import FaultConfig, ServerConfig, small_cloud_server
 from repro.core.rng import RandomSource
 from repro.experiments.common import build_farm, drive
 from repro.faults.injector import FaultInjector
+from repro.runner import SweepSpec, run_sweep
 from repro.workload.arrivals import PoissonProcess, arrival_rate_for_utilization
 from repro.workload.profiles import WorkloadProfile, web_search_profile
 
@@ -124,8 +125,13 @@ def run_fault_resilience_sweep(
     slo_latency_s: Optional[float] = None,
     seed: int = 1,
     profile: Optional[WorkloadProfile] = None,
+    jobs: int = 1,
 ) -> FaultResilienceSweep:
-    """Sweep server failure frequency and collect resilience outcomes."""
+    """Sweep server failure frequency and collect resilience outcomes.
+
+    Each MTBF point is an independent seeded run, so ``jobs > 1`` evaluates
+    them on a process pool with bit-identical results.
+    """
     base = FaultConfig(
         enabled=True,
         server_mtbf_s=mtbf_values[0],
@@ -133,18 +139,17 @@ def run_fault_resilience_sweep(
         retry_limit=retry_limit,
         slo_latency_s=slo_latency_s,
     )
-    points = []
+    spec = SweepSpec("fault-resilience")
     for mtbf in mtbf_values:
-        cfg = replace(base, server_mtbf_s=mtbf)
-        points.append(
-            run_fault_resilience_point(
-                cfg,
-                n_servers=n_servers,
-                n_cores=n_cores,
-                utilization=utilization,
-                duration_s=duration_s,
-                seed=seed,
-                profile=profile,
-            )
+        spec.add(
+            run_fault_resilience_point,
+            fault_config=replace(base, server_mtbf_s=mtbf),
+            n_servers=n_servers,
+            n_cores=n_cores,
+            utilization=utilization,
+            duration_s=duration_s,
+            seed=seed,
+            profile=profile,
         )
+    points = run_sweep(spec, jobs=jobs)
     return FaultResilienceSweep(mtbf_values=list(mtbf_values), points=points)

@@ -32,6 +32,7 @@ from repro.network.flow import FlowNetwork
 from repro.network.routing import Router
 from repro.network.topology import fat_tree
 from repro.power.joint import JointEnergyManager
+from repro.runner import SweepSpec, run_sweep
 from repro.scheduling.global_scheduler import GlobalScheduler
 from repro.server.server import Server
 from repro.workload.arrivals import PoissonProcess
@@ -217,16 +218,27 @@ def run_joint_comparison(
     k: int = 4,
     n_jobs: int = 2000,
     seed: int = 11,
+    jobs: int = 1,
     **kwargs,
 ) -> JointComparison:
-    """The full Fig. 11 experiment: both strategies at every utilization."""
+    """The full Fig. 11 experiment: both strategies at every utilization.
+
+    The (mode x utilization) grid points are independent seeded runs, so
+    ``jobs > 1`` evaluates them on a process pool.
+    """
     results: Dict[str, Dict[float, JointRunResult]] = {
         "balanced": {},
         "network-aware": {},
     }
+    spec = SweepSpec("joint-energy")
+    cells = []
     for mode in results:
         for rho in utilizations:
-            results[mode][rho] = run_joint_point(
-                mode, rho, k=k, n_jobs=n_jobs, seed=seed, **kwargs
+            cells.append((mode, rho))
+            spec.add(
+                run_joint_point, mode=mode, utilization=rho, k=k,
+                n_jobs=n_jobs, seed=seed, **kwargs,
             )
+    for (mode, rho), result in zip(cells, run_sweep(spec, jobs=jobs)):
+        results[mode][rho] = result
     return JointComparison(results=results)

@@ -11,13 +11,14 @@ jobs in the system and the number of active servers, which track each other.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.config import ServerConfig, small_cloud_server
 from repro.core.rng import RandomSource
 from repro.core.stats import TimeSeries, TimeSeriesSampler
 from repro.experiments.common import build_farm, drive
 from repro.power.provisioning import ProvisioningManager
+from repro.runner import SweepSpec, run_sweep
 from repro.scheduling.policies import LeastLoadedPolicy
 from repro.workload.arrivals import TraceProcess
 from repro.workload.profiles import SingleTaskJobFactory, UniformService
@@ -120,4 +121,53 @@ def run_provisioning(
         min_active_servers=min(active_servers.values) if len(active_servers) else 0.0,
         max_active_servers=max(active_servers.values) if len(active_servers) else 0.0,
         energy_j=farm.total_energy_j(duration_s),
+    )
+
+
+@dataclass
+class ThresholdSweep:
+    """Provisioning outcomes across (min, max) load-threshold pairs.
+
+    The Fig. 4 experiment fixes one threshold pair; this sweep exposes the
+    energy / tail-latency trade-off the thresholds control: tight thresholds
+    park aggressively (less energy, worse p95), loose ones keep headroom.
+    """
+
+    threshold_pairs: List[Tuple[float, float]]
+    points: List[ProvisioningResult]
+
+    def render(self) -> str:
+        lines = [
+            "Fig. 4 threshold sweep — provisioning aggressiveness",
+            f"{'min':>6} {'max':>6} {'servers':>9} {'jobs':>9} "
+            f"{'p95(ms)':>9} {'energy(J)':>12}",
+        ]
+        for (lo, hi), p in zip(self.threshold_pairs, self.points):
+            lines.append(
+                f"{lo:>6.2f} {hi:>6.2f} "
+                f"{p.min_active_servers:>4.0f}..{p.max_active_servers:<4.0f}"
+                f"{p.jobs_completed:>9d} {p.p95_latency_s * 1e3:>9.1f} "
+                f"{p.energy_j:>12,.0f}"
+            )
+        return "\n".join(lines)
+
+
+def run_provisioning_sweep(
+    threshold_pairs: Sequence[Tuple[float, float]],
+    jobs: int = 1,
+    **kwargs,
+) -> ThresholdSweep:
+    """Sweep the provisioning thresholds; points run in parallel with
+    ``jobs > 1``.  ``kwargs`` are forwarded to :func:`run_provisioning`."""
+    spec = SweepSpec("provisioning-thresholds")
+    for lo, hi in threshold_pairs:
+        spec.add(
+            run_provisioning,
+            min_load_per_server=lo,
+            max_load_per_server=hi,
+            **kwargs,
+        )
+    return ThresholdSweep(
+        threshold_pairs=[(lo, hi) for lo, hi in threshold_pairs],
+        points=run_sweep(spec, jobs=jobs),
     )

@@ -11,11 +11,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from repro.core.config import ServerConfig, small_cloud_server
 from repro.core.rng import RandomSource
 from repro.experiments.common import build_farm, drive
+from repro.runner import SweepSpec, run_sweep
 from repro.scheduling.policies import RoundRobinPolicy
 from repro.workload.arrivals import PoissonProcess, arrival_rate_for_utilization
 from repro.workload.profiles import ExponentialService, SingleTaskJobFactory
@@ -81,3 +82,43 @@ def run_scalability(
         wall_seconds=wall,
         events_executed=farm.engine.events_executed,
     )
+
+
+@dataclass
+class ScalabilitySweep:
+    """Simulator throughput across farm sizes (the Table I trajectory)."""
+
+    points: List[ScalabilityResult]
+
+    def render(self) -> str:
+        lines = ["Table I sweep — throughput vs farm size"]
+        for p in self.points:
+            lines.append(p.render())
+        return "\n".join(lines)
+
+
+def run_scalability_sweep(
+    server_counts: Sequence[int],
+    n_jobs: int = 200_000,
+    utilization: float = 0.3,
+    mean_service_s: float = 0.005,
+    seed: int = 13,
+    jobs: int = 1,
+) -> ScalabilitySweep:
+    """Run the scalability point at several farm sizes.
+
+    Note: parallel workers (``jobs > 1``) compete for cores, which perturbs
+    the *wall-clock* measurements; sweep sequentially when the throughput
+    numbers matter, in parallel when only checking completion.
+    """
+    spec = SweepSpec("scalability")
+    for n_servers in server_counts:
+        spec.add(
+            run_scalability,
+            n_servers=n_servers,
+            n_jobs=n_jobs,
+            utilization=utilization,
+            mean_service_s=mean_service_s,
+            seed=seed,
+        )
+    return ScalabilitySweep(points=run_sweep(spec, jobs=jobs))

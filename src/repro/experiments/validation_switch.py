@@ -62,7 +62,7 @@ class _LinkUpTracker:
             self._up[server.server_id] = up
 
     def start(self) -> None:
-        self.engine.schedule(self.interval_s, self._sync)
+        self.engine.post(self.interval_s, self._sync)
 
     def _sync(self) -> None:
         for server in self.servers:
@@ -76,7 +76,7 @@ class _LinkUpTracker:
             else:
                 link.end_activity(node, self.switch_name)
             self._up[server.server_id] = up
-        self.engine.schedule(self.interval_s, self._sync)
+        self.engine.post(self.interval_s, self._sync)
 
 
 @dataclass

@@ -195,7 +195,7 @@ class FlowNetwork:
         if size_bytes < 0:
             raise ValueError(f"negative transfer size {size_bytes}")
         if src_server_id == dst_server_id or size_bytes == 0:
-            self.engine.schedule(self.local_transfer_delay_s, callback)
+            self.engine.post(self.local_transfer_delay_s, callback)
             return None
         src = self.topology.server_node(src_server_id)
         dst = self.topology.server_node(dst_server_id)

@@ -80,11 +80,11 @@ class _OutputQueue:
         self.transmitting = True
         wake = self.link.begin_activity(self.src, self.dst)
         tx_time = packet.size_bytes * 8.0 / self.link.current_rate_bps
-        self.engine.schedule(wake + tx_time, self._tx_done, packet)
+        self.engine.post(wake + tx_time, self._tx_done, packet)
 
     def _tx_done(self, packet: Packet) -> None:
         self.link.end_activity(self.src, self.dst)
-        self.engine.schedule(self.link.propagation_delay_s, self.network._hop_arrived, packet)
+        self.engine.post(self.link.propagation_delay_s, self.network._hop_arrived, packet)
         if self.queue:
             self._start_next()
         else:
@@ -156,7 +156,7 @@ class PacketNetwork:
         if size_bytes < 0:
             raise ValueError(f"negative transfer size {size_bytes}")
         if src_server_id == dst_server_id or size_bytes == 0:
-            self.engine.schedule(self.local_transfer_delay_s, callback)
+            self.engine.post(self.local_transfer_delay_s, callback)
             return
         src = self.topology.server_node(src_server_id)
         dst = self.topology.server_node(dst_server_id)

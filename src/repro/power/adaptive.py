@@ -113,7 +113,7 @@ class AdaptivePoolManager(DelayTimerController):
         if self._started:
             return
         self._started = True
-        self.engine.schedule(self.estimation_interval_s, self._estimate)
+        self.engine.post(self.estimation_interval_s, self._estimate)
 
     def load_per_active_server(self) -> float:
         """Pending (running + queued) tasks per active-pool server."""
@@ -137,7 +137,7 @@ class AdaptivePoolManager(DelayTimerController):
                 self._low_load_streak = 0
         else:
             self._low_load_streak = 0
-        self.engine.schedule(self.estimation_interval_s, self._estimate)
+        self.engine.post(self.estimation_interval_s, self._estimate)
 
     def _pick_promotion(self) -> "Server":
         # Prefer a sleep-pool server that is still awake (no wake latency),

@@ -62,7 +62,7 @@ class DvfsGovernor:
         if self._started:
             return
         self._started = True
-        self.engine.schedule(self.interval_s, self._tick)
+        self.engine.post(self.interval_s, self._tick)
 
     def _tick(self) -> None:
         for server in self.servers:
@@ -80,7 +80,7 @@ class DvfsGovernor:
                 elif busy_fraction < self.down_threshold and index > 0:
                     processor.set_frequency(ladder[index - 1])
                     self.steps_down += 1
-        self.engine.schedule(self.interval_s, self._tick)
+        self.engine.post(self.interval_s, self._tick)
 
     def frequency_snapshot(self) -> Dict[int, List[float]]:
         """Current frequency per server id (one entry per socket)."""

@@ -57,7 +57,7 @@ class SwitchSleepController:
         if self._started:
             return
         self._started = True
-        self.engine.schedule(self.scan_interval_s, self._scan)
+        self.engine.post(self.scan_interval_s, self._scan)
 
     def _scan(self) -> None:
         now = self.engine.now
@@ -69,7 +69,7 @@ class SwitchSleepController:
                 continue
             if now - self._last_busy[name] >= self.idle_threshold_s:
                 switch.sleep()
-        self.engine.schedule(self.scan_interval_s, self._scan)
+        self.engine.post(self.scan_interval_s, self._scan)
 
 
 class JointDispatchPolicy(DispatchPolicy):
@@ -140,7 +140,7 @@ class JointEnergyManager(DelayTimerController):
         """Start the switch sleep scan and periodic scale-down check."""
         if self.switch_controller is not None:
             self.switch_controller.start()
-            self.engine.schedule(self.scale_down_interval_s, self._scale_down_check)
+            self.engine.post(self.scale_down_interval_s, self._scale_down_check)
 
     def make_policy(self) -> JointDispatchPolicy:
         """The dispatch policy to hand to the global scheduler."""
@@ -231,4 +231,4 @@ class JointEnergyManager(DelayTimerController):
                     idle_active, key=lambda s: (self.network_cost(s), -s.server_id)
                 )
                 self._deactivate(victim)
-        self.engine.schedule(self.scale_down_interval_s, self._scale_down_check)
+        self.engine.post(self.scale_down_interval_s, self._scale_down_check)

@@ -72,7 +72,7 @@ class ProvisioningManager(DelayTimerController):
         if self._started:
             return
         self._started = True
-        self.engine.schedule(self.check_interval_s, self._check)
+        self.engine.post(self.check_interval_s, self._check)
 
     # ------------------------------------------------------------------
     def _check(self) -> None:
@@ -82,7 +82,7 @@ class ProvisioningManager(DelayTimerController):
         elif load > self.max_load and self.parked_servers:
             self._activate_one()
         self.active_count_series.append(self.engine.now, float(len(self.active_servers)))
-        self.engine.schedule(self.check_interval_s, self._check)
+        self.engine.post(self.check_interval_s, self._check)
 
     def _park_one(self) -> None:
         server = min(self.active_servers, key=lambda s: (s.pending_task_count, s.server_id))

@@ -1,0 +1,29 @@
+"""Parallel sweep execution and performance benchmarking.
+
+Every case study in the paper (Figs. 4-11, Table I) is a *sweep*: the same
+seeded simulation repeated over a grid of parameter points.  Points are
+independent by construction (each builds its own engine, farm, and RNG
+streams from an explicit seed), which makes them embarrassingly parallel.
+This package provides:
+
+* :class:`~repro.runner.sweep.SweepSpec` / :class:`~repro.runner.sweep.SweepPoint`
+  — a declarative, picklable description of a sweep;
+* :func:`~repro.runner.sweep.run_sweep` — execute a spec sequentially or on a
+  spawn-safe ``multiprocessing`` pool, with bit-identical results either way;
+* :mod:`repro.runner.bench` — the ``repro bench`` microbenchmark harness that
+  tracks the simulator's performance trajectory in ``BENCH_core.json``.
+"""
+
+from repro.runner.sweep import (
+    SweepPoint,
+    SweepSpec,
+    derive_point_seed,
+    run_sweep,
+)
+
+__all__ = [
+    "SweepPoint",
+    "SweepSpec",
+    "derive_point_seed",
+    "run_sweep",
+]

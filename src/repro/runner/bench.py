@@ -1,0 +1,248 @@
+"""The ``repro bench`` harness: measure the simulator's hot paths.
+
+Runs the core microbenchmarks (raw event throughput, schedule/cancel churn,
+full-stack task churn), a small delay-timer sweep at ``jobs=1`` vs
+``jobs=N`` to quantify the parallel-runner speedup, and one scalability
+point, then writes the numbers to ``BENCH_core.json``.  The committed file
+is the repo's performance trajectory: every perf-focused PR re-runs the
+bench and appends its numbers to the history table in EXPERIMENTS.md, and CI
+runs ``repro bench --quick --check-against BENCH_core.json`` so an engine
+regression >30% fails the build.
+
+All figures are throughput rates (events/s, jobs/s) except the sweep entry,
+which records wall-clock seconds and the parallel speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.core.engine import Engine
+from repro.core.rng import RandomSource
+from repro.experiments import delay_timer, scalability
+from repro.experiments.common import build_farm, drive
+from repro.core.config import small_cloud_server
+from repro.scheduling.policies import LeastLoadedPolicy
+from repro.workload.arrivals import PoissonProcess
+from repro.workload.profiles import (
+    ExponentialService,
+    SingleTaskJobFactory,
+    web_search_profile,
+)
+
+SCHEMA_VERSION = 2
+
+
+def bench_engine_events(n_events: int = 200_000) -> float:
+    """Fire-and-forget event throughput (events/s) on the tuple fast path.
+
+    Mixes a self-rescheduling chain with a fan of pre-queued events so both
+    heap push and pop/sift costs are exercised at a realistic queue depth.
+    """
+    engine = Engine()
+    fired = [0]
+
+    def tick() -> None:
+        fired[0] += 1
+        if fired[0] < n_events:
+            engine.post(0.001, tick)
+
+    sink = fired.__getitem__  # cheap callable taking one arg
+    for i in range(1000):
+        engine.post(float(i), sink, 0)
+    engine.post(0.0, tick)
+    start = time.perf_counter()
+    engine.run()
+    elapsed = time.perf_counter() - start
+    return engine.events_executed / elapsed
+
+
+def bench_schedule_cancel(n_timers: int = 200_000) -> float:
+    """Timer churn (schedule+cancel pairs/s), the delay-timer hot pattern.
+
+    Every timer is cancelled before it fires — the worst case for lazy
+    deletion — so this also exercises heap compaction.
+    """
+    engine = Engine()
+    noop = int
+    start = time.perf_counter()
+    for i in range(n_timers):
+        handle = engine.schedule(1.0 + (i % 50), noop)
+        handle.cancel()
+    engine.run()
+    elapsed = time.perf_counter() - start
+    return n_timers / elapsed
+
+
+def bench_task_churn(n_jobs: int = 20_000) -> float:
+    """Full-stack jobs/s: dispatch, execute and account short tasks."""
+    farm = build_farm(4, small_cloud_server(), policy=LeastLoadedPolicy(), seed=1)
+    rng = RandomSource(1)
+    factory = SingleTaskJobFactory(ExponentialService(0.005), rng.stream("s"))
+    start = time.perf_counter()
+    drive(farm, PoissonProcess(2000.0, rng.stream("a")), factory,
+          max_jobs=n_jobs, drain=True)
+    elapsed = time.perf_counter() - start
+    return farm.scheduler.jobs_completed / elapsed
+
+
+def _sweep_wall_clock(jobs: int, n_servers: int, duration_s: float) -> float:
+    """Wall-clock seconds for an 8-point delay-timer sweep."""
+    start = time.perf_counter()
+    delay_timer.run_delay_timer_sweep(
+        web_search_profile(),
+        tau_values=(0.01, 0.05, 0.1, 0.4),
+        utilizations=(0.1, 0.3),
+        n_servers=n_servers,
+        n_cores=2,
+        duration_s=duration_s,
+        seed=1,
+        jobs=jobs,
+    )
+    return time.perf_counter() - start
+
+
+def run_bench(
+    quick: bool = False,
+    sweep_jobs: int = 4,
+    skip_sweep: bool = False,
+) -> Dict[str, Any]:
+    """Run the full bench suite and return the result document."""
+    result: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "quick": quick,
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+    }
+
+    # The engine microbenches are sub-second even at full size; keeping them
+    # full-size in quick mode keeps quick rates directly comparable to the
+    # committed full-mode baseline (rates fall with smaller event counts as
+    # warm-up dominates, which would eat into the regression tolerance).
+    result["engine"] = {
+        "events_per_s": round(bench_engine_events(200_000)),
+        "schedule_cancel_per_s": round(bench_schedule_cancel(200_000)),
+    }
+    result["farm"] = {
+        "jobs_per_s": round(bench_task_churn(10_000 if quick else 20_000)),
+    }
+
+    if not skip_sweep:
+        n_servers = 6 if quick else 12
+        duration_s = 3.0 if quick else 10.0
+        wall_serial = _sweep_wall_clock(1, n_servers, duration_s)
+        wall_parallel = _sweep_wall_clock(sweep_jobs, n_servers, duration_s)
+        result["sweep"] = {
+            "points": 8,
+            "workers": sweep_jobs,
+            "wall_s_jobs1": round(wall_serial, 3),
+            f"wall_s_jobs{sweep_jobs}": round(wall_parallel, 3),
+            "speedup": round(wall_serial / wall_parallel, 3) if wall_parallel else None,
+        }
+
+    scal = scalability.run_scalability(
+        n_servers=512 if quick else 4096,
+        n_jobs=5_000 if quick else 50_000,
+    )
+    result["scalability"] = {
+        "n_servers": scal.n_servers,
+        "n_jobs": scal.n_jobs,
+        "events_per_s": round(scal.events_per_second),
+        "jobs_per_s": round(scal.jobs_per_wall_second),
+    }
+    return result
+
+
+def check_regression(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = 0.30,
+) -> List[str]:
+    """Compare throughput metrics against a baseline document.
+
+    Returns a list of human-readable regression messages (empty = pass).  A
+    metric regresses when it falls more than ``tolerance`` (fractional)
+    below the baseline.  Only rate metrics are compared — wall-clock numbers
+    depend on bench sizing, which ``--quick`` changes.
+    """
+    watched = [
+        ("engine", "events_per_s"),
+        ("engine", "schedule_cancel_per_s"),
+        ("farm", "jobs_per_s"),
+        ("scalability", "events_per_s"),
+    ]
+    problems = []
+    for section, metric in watched:
+        base = baseline.get(section, {}).get(metric)
+        cur = current.get(section, {}).get(metric)
+        if not base or not cur:
+            continue
+        if cur < base * (1.0 - tolerance):
+            problems.append(
+                f"{section}.{metric} regressed: {cur:,.0f} < "
+                f"{base * (1.0 - tolerance):,.0f} "
+                f"(baseline {base:,.0f}, tolerance {tolerance:.0%})"
+            )
+    return problems
+
+
+def render(result: Dict[str, Any]) -> str:
+    """Human-readable summary of a bench document."""
+    lines = [f"repro bench ({'quick' if result.get('quick') else 'full'} mode)"]
+    engine = result.get("engine", {})
+    lines.append(f"  engine events/s:          {engine.get('events_per_s', 0):>12,}")
+    lines.append(f"  schedule+cancel pairs/s:  {engine.get('schedule_cancel_per_s', 0):>12,}")
+    lines.append(f"  farm jobs/s:              {result.get('farm', {}).get('jobs_per_s', 0):>12,}")
+    sweep = result.get("sweep")
+    if sweep:
+        workers = sweep.get("workers", 4)
+        lines.append(
+            f"  sweep ({sweep['points']} pts) wall:     "
+            f"{sweep['wall_s_jobs1']:.2f}s @jobs=1 -> "
+            f"{sweep[f'wall_s_jobs{workers}']:.2f}s @jobs={workers} "
+            f"({sweep['speedup']:.2f}x)"
+        )
+    scal = result.get("scalability", {})
+    lines.append(
+        f"  scalability ({scal.get('n_servers', 0):,} servers): "
+        f"{scal.get('events_per_s', 0):>12,} events/s, "
+        f"{scal.get('jobs_per_s', 0):,} jobs/s"
+    )
+    return "\n".join(lines)
+
+
+def main(
+    out: Optional[str] = "BENCH_core.json",
+    quick: bool = False,
+    sweep_jobs: int = 4,
+    skip_sweep: bool = False,
+    check_against: Optional[str] = None,
+    tolerance: float = 0.30,
+) -> int:
+    """Entry point used by the ``repro bench`` CLI subcommand."""
+    result = run_bench(quick=quick, sweep_jobs=sweep_jobs, skip_sweep=skip_sweep)
+    print(render(result))
+    if out:
+        with open(out, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {out}")
+    if check_against:
+        with open(check_against) as fh:
+            baseline = json.load(fh)
+        problems = check_regression(result, baseline, tolerance=tolerance)
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {check_against} (tolerance {tolerance:.0%})")
+    return 0

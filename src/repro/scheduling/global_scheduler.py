@@ -211,7 +211,7 @@ class GlobalScheduler:
             return
         self.tasks_retried += 1
         delay = self.retry_backoff_s * self.retry_backoff_factor ** (task.attempts - 1)
-        self.engine.schedule(delay, self._redispatch, task)
+        self.engine.post(delay, self._redispatch, task)
 
     def _redispatch(self, task: Task) -> None:
         if task.job.failed:

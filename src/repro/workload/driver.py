@@ -62,7 +62,7 @@ class WorkloadDriver:
             # Traces may start before the current clock (e.g. replays mid-run);
             # deliver immediately rather than rejecting the event.
             when = self.engine.now
-        self.engine.schedule_at(when, self._inject, when)
+        self.engine.post_at(when, self._inject, when)
 
     def _inject(self, when: float) -> None:
         job = self.job_factory(when)

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.engine import Engine, SimulationError
+from repro.core.engine import COMPACTION_MIN_HEAP, Engine, SimulationError
 
 
 class TestScheduling:
@@ -139,6 +139,123 @@ class TestCancellation:
         handles[49].cancel()
         assert engine.peek_time() is None
         assert engine.pending_count() == 0
+
+
+class TestFastPath:
+    def test_post_events_run_in_time_order(self, engine):
+        order = []
+        engine.post(2.0, order.append, "b")
+        engine.post(1.0, order.append, "a")
+        engine.post(3.0, order.append, "c")
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_post_interleaves_fifo_with_schedule(self, engine):
+        # Same-time events run in scheduling order regardless of which
+        # surface (post vs schedule) queued them.
+        order = []
+        engine.post(1.0, order.append, 0)
+        engine.schedule(1.0, order.append, 1)
+        engine.post(1.0, order.append, 2)
+        engine.schedule(1.0, order.append, 3)
+        engine.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_post_returns_nothing(self, engine):
+        assert engine.post(1.0, lambda: None) is None
+        assert engine.post_at(2.0, lambda: None) is None
+
+    def test_post_at_in_past_raises(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.post_at(0.5, lambda: None)
+
+    def test_post_negative_delay_raises(self, engine):
+        with pytest.raises(SimulationError):
+            engine.post(-0.1, lambda: None)
+
+    def test_post_args_passed_through(self, engine):
+        seen = []
+        engine.post(1.0, lambda a, b: seen.append((a, b)), 1, "x")
+        engine.run()
+        assert seen == [(1, "x")]
+
+    def test_step_handles_posted_events(self, engine):
+        seen = []
+        engine.post(1.0, seen.append, "fast")
+        engine.schedule(2.0, seen.append, "slow")
+        assert engine.step()
+        assert seen == ["fast"]
+        assert engine.step()
+        assert seen == ["fast", "slow"]
+        assert engine.step() is False
+
+    def test_posted_events_count_as_pending(self, engine):
+        engine.post(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None).cancel()
+        assert engine.pending_count() == 1
+        assert engine.peek_time() == 1.0
+
+
+class TestHeapCompaction:
+    def test_mass_cancel_keeps_heap_bounded(self, engine):
+        # The delay-timer worst case: 100K timers scheduled and immediately
+        # cancelled.  Lazy deletion alone would grow the heap to 100K + live
+        # entries; compaction must keep it bounded by the live population.
+        live = [engine.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for i in range(100_000):
+            engine.schedule(1000.0 + (i % 50), lambda: None).cancel()
+        # At most: live entries + the garbage allowed before the next sweep.
+        assert engine.queued_count() <= 2 * max(
+            len(live) + 1, COMPACTION_MIN_HEAP
+        )
+        assert engine.pending_count() == len(live)
+        assert engine.peek_time() == 1.0
+        order = []
+        for i, handle in enumerate(live):
+            # Survivors keep their original (time, seq) keys...
+            engine.schedule_at(handle.time, order.append, ("after", i))
+        engine.run()
+        # ...so time ordering and same-time FIFO order survive compaction.
+        assert order == [("after", i) for i in range(len(live))]
+
+    def test_small_heaps_are_not_compacted(self, engine):
+        handles = [engine.schedule(1.0, lambda: None) for _ in range(8)]
+        for handle in handles:
+            handle.cancel()
+        # Below COMPACTION_MIN_HEAP we rely on lazy deletion only.
+        assert engine.queued_count() == 8
+        engine.run()
+        assert engine.queued_count() == 0
+
+    def test_compaction_triggered_from_callback(self, engine):
+        fired = []
+        victims = [
+            engine.schedule(10.0 + i, lambda: None)
+            for i in range(2 * COMPACTION_MIN_HEAP)
+        ]
+
+        def cancel_all():
+            for victim in victims:
+                victim.cancel()
+
+        engine.schedule(1.0, cancel_all)
+        engine.schedule(2.0, fired.append, "after")
+        engine.run()
+        assert fired == ["after"]
+        assert engine.queued_count() == 0
+
+    def test_cancelled_counter_survives_mixed_pop_and_compact(self, engine):
+        rounds = 5
+        for _ in range(rounds):
+            handles = [engine.schedule(1.0, lambda: None) for _ in range(200)]
+            for handle in handles[::2]:
+                handle.cancel()
+            engine.run()
+            assert engine.queued_count() == 0
+            assert engine.pending_count() == 0
+        assert engine.events_executed == rounds * 100
 
 
 class TestRunControl:

@@ -175,9 +175,18 @@ class TestLatencyCollector:
         for v in (3.0, 1.0, 2.0, 2.0):
             collector.record(v)
         cdf = collector.cdf()
-        assert cdf.values == sorted(cdf.values)
+        assert list(cdf.values) == sorted(cdf.values)
         assert cdf.probs[-1] == pytest.approx(1.0)
         assert cdf.quantile(0.5) == 2.0
+
+    def test_cdf_shares_sorted_storage(self):
+        # The CDF must not copy the sorted sample array (satellite of the
+        # perf PR): `values` is the collector's own sorted storage.
+        collector = LatencyCollector()
+        for v in (3.0, 1.0, 2.0):
+            collector.record(v)
+        cdf = collector.cdf()
+        assert cdf.values is collector._sorted_samples()
 
     def test_cdf_quantile_bounds(self):
         collector = LatencyCollector()
@@ -207,8 +216,8 @@ class TestTimeSeriesSampler:
         series = sampler.add_probe("clock", lambda: engine.now)
         sampler.start(first_sample_at=1.0)
         engine.run(until=5.0)
-        assert series.times == [1.0, 2.0, 3.0, 4.0, 5.0]
-        assert series.values == series.times
+        assert list(series.times) == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert list(series.values) == list(series.times)
 
     def test_stop_halts_sampling(self):
         engine = Engine()

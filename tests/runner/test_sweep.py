@@ -1,0 +1,107 @@
+"""Tests for the declarative sweep runner.
+
+The determinism tests are the load-bearing ones: ``run_sweep(jobs=N)`` must
+return byte-for-byte the same results as ``jobs=1`` for the same spec, or
+``--jobs`` silently changes science.  Comparison goes through ``repr`` so
+NaN fields (e.g. mean latency of a point that completed zero jobs) compare
+equal — ``float("nan") != float("nan")`` would otherwise mask a pass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.delay_timer import run_delay_timer_sweep
+from repro.experiments.fault_resilience import run_fault_resilience_sweep
+from repro.runner import SweepPoint, SweepSpec, derive_point_seed, run_sweep
+from repro.workload.profiles import web_search_profile
+
+
+def _add(a, b):
+    return a + b
+
+
+class TestDerivePointSeed:
+    def test_stable_across_calls(self):
+        assert derive_point_seed(42, 0) == derive_point_seed(42, 0)
+
+    def test_distinct_per_index_and_base(self):
+        seeds = {derive_point_seed(base, i) for base in (1, 2) for i in range(50)}
+        assert len(seeds) == 100
+
+    def test_positive_int64(self):
+        for i in range(100):
+            assert 0 <= derive_point_seed(7, i) < 2**63
+
+
+class TestSweepSpec:
+    def test_add_assigns_sequential_indices(self):
+        spec = SweepSpec("s")
+        p0 = spec.add(_add, label="a", a=0, b=0)
+        p1 = spec.add(_add, a=1, b=1)
+        assert (p0.index, p1.index) == (0, 1)
+        assert p0.label == "a"
+        assert len(spec) == 2
+
+    def test_from_grid_derives_missing_seeds(self):
+        grid = [{"x": 1}, {"x": 2, "seed": 99}, {"x": 3}]
+        spec = SweepSpec.from_grid("g", _add, grid, base_seed=5)
+        assert spec.points[0].kwargs["seed"] == derive_point_seed(5, 0)
+        assert spec.points[1].kwargs["seed"] == 99  # pinned seed is kept
+        assert spec.points[2].kwargs["seed"] == derive_point_seed(5, 2)
+
+    def test_from_grid_without_base_seed_adds_nothing(self):
+        spec = SweepSpec.from_grid("g", _add, [{"x": 1}])
+        assert "seed" not in spec.points[0].kwargs
+
+    def test_point_execute(self):
+        point = SweepPoint(index=0, fn=_add, kwargs={"a": 7, "b": 3})
+        assert point.execute() == 10
+
+
+class TestRunSweep:
+    def test_results_in_point_order(self):
+        spec = SweepSpec("s")
+        for i in range(5):
+            spec.add(_add, a=i, b=100)
+        assert run_sweep(spec) == [i + 100 for i in range(5)]
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_sweep(SweepSpec("s"), jobs=0)
+
+    def test_empty_spec(self):
+        assert run_sweep(SweepSpec("s"), jobs=4) == []
+
+
+def _point_reprs(sweep):
+    return [repr(p) for p in sweep.points]
+
+
+@pytest.mark.slow
+class TestParallelDeterminism:
+    """jobs=N output must equal jobs=1 exactly, per the determinism contract."""
+
+    def test_delay_timer_sweep_bit_identical(self):
+        kwargs = dict(
+            tau_values=(0.0, 0.05, 0.2),
+            utilizations=(0.3,),
+            n_servers=4,
+            n_cores=2,
+            duration_s=3.0,
+            seed=1,
+        )
+        serial = run_delay_timer_sweep(web_search_profile(), jobs=1, **kwargs)
+        parallel = run_delay_timer_sweep(web_search_profile(), jobs=4, **kwargs)
+        assert _point_reprs(serial) == _point_reprs(parallel)
+
+    def test_fault_resilience_sweep_bit_identical(self):
+        kwargs = dict(
+            mtbf_values=(60.0, 30.0),
+            n_servers=4,
+            duration_s=10.0,
+            seed=1,
+        )
+        serial = run_fault_resilience_sweep(jobs=1, **kwargs)
+        parallel = run_fault_resilience_sweep(jobs=4, **kwargs)
+        assert _point_reprs(serial) == _point_reprs(parallel)

@@ -27,6 +27,30 @@ class TestParser:
         )
         assert args.taus == [0.0, 0.5, 2.0]
 
+    def test_jobs_flag_on_every_sweep_command(self):
+        for command in (
+            "provisioning", "delay-timer", "residency", "joint",
+            "faults", "scalability", "bench",
+        ):
+            args = build_parser().parse_args([command, "--jobs", "4"])
+            assert args.jobs == 4, command
+            assert build_parser().parse_args([command]).jobs == 1, command
+
+    def test_jobs_short_flag(self):
+        assert build_parser().parse_args(["delay-timer", "-j", "2"]).jobs == 2
+
+    def test_sweep_thresholds_parsing(self):
+        args = build_parser().parse_args(
+            ["provisioning", "--sweep-thresholds", "0.25:1.0", "0.5:1.5"]
+        )
+        assert args.sweep_thresholds == ["0.25:1.0", "0.5:1.5"]
+
+    def test_scalability_sizes_parsing(self):
+        args = build_parser().parse_args(
+            ["scalability", "--sizes", "100", "1000"]
+        )
+        assert args.sizes == [100, 1000]
+
 
 class TestExecution:
     def test_provisioning_smoke(self, capsys):
@@ -47,7 +71,7 @@ class TestExecution:
         assert "optimal tau" in out
 
     def test_scalability_smoke(self, capsys):
-        main(["scalability", "--servers", "100", "--jobs", "500"])
+        main(["scalability", "--servers", "100", "--num-jobs", "500"])
         out = capsys.readouterr().out
         assert "Table I" in out
 
@@ -57,9 +81,55 @@ class TestExecution:
         assert "Fig. 12" in out
 
     def test_joint_smoke(self, capsys):
-        main(["joint", "--jobs", "50", "--utilizations", "0.3"])
+        main(["joint", "--num-jobs", "50", "--utilizations", "0.3"])
         out = capsys.readouterr().out
         assert "Fig. 11a" in out
+
+    def test_provisioning_threshold_sweep_smoke(self, capsys):
+        main([
+            "provisioning", "--servers", "4", "--duration", "10",
+            "--rate", "150", "--day-length", "5",
+            "--sweep-thresholds", "0.25:1.0", "0.5:1.5",
+        ])
+        out = capsys.readouterr().out
+        assert "0.25" in out and "0.50" in out
+
+    def test_scalability_sizes_smoke(self, capsys):
+        main(["scalability", "--sizes", "50", "100", "--num-jobs", "500"])
+        out = capsys.readouterr().out
+        assert "50" in out and "100" in out
+
+    def test_bench_quick_smoke(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "bench.json"
+        main([
+            "bench", "--quick", "--skip-sweep", "--out", str(out_path),
+        ])
+        out = capsys.readouterr().out
+        assert "events/s" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["engine"]["events_per_s"] > 0
+        assert doc["farm"]["jobs_per_s"] > 0
+        assert doc["scalability"]["events_per_s"] > 0
+
+    def test_bench_regression_gate(self, capsys, tmp_path):
+        import json
+
+        baseline = tmp_path / "baseline.json"
+        # An absurdly fast baseline must trip the regression gate ...
+        baseline.write_text(json.dumps({
+            "engine": {"events_per_s": 10**12, "schedule_cancel_per_s": 1},
+            "farm": {"jobs_per_s": 1},
+            "scalability": {"events_per_s": 1},
+        }))
+        with pytest.raises(SystemExit):
+            main([
+                "bench", "--quick", "--skip-sweep",
+                "--out", str(tmp_path / "b.json"),
+                "--check-against", str(baseline),
+            ])
+        capsys.readouterr()
 
 
 class TestTraceCommands:
