@@ -18,8 +18,8 @@ the paper's figure reports::
 Every subcommand accepts ``--jobs N`` to evaluate independent sweep points
 on N worker processes (results are bit-identical to ``--jobs 1``; commands
 that run a single simulation accept and ignore it).  ``repro bench`` runs
-the core microbenchmarks and records the performance trajectory in
-``BENCH_core.json``.
+the core and network-data-plane microbenchmarks and records the performance
+trajectory in ``BENCH_core.json``.
 
 Use ``--help`` on any subcommand for its knobs.
 """
@@ -334,7 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench",
-        help="run core microbenchmarks and record BENCH_core.json",
+        help="run core + network microbenchmarks and record BENCH_core.json",
     )
     p.add_argument("--out", default="BENCH_core.json",
                    help="output JSON path ('' to skip writing)")

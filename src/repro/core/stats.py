@@ -23,7 +23,7 @@ import bisect
 import math
 from array import array
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.engine import Engine
 
@@ -256,6 +256,11 @@ class LatencyCollector:
     def record(self, value: float) -> None:
         """Add one sample."""
         self._samples.append(value)
+        self._sorted = None
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Bulk-add samples (one C-level extend instead of N ``record`` calls)."""
+        self._samples.extend(values)
         self._sorted = None
 
     def __len__(self) -> int:

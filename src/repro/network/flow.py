@@ -171,6 +171,7 @@ class FlowNetwork:
         # Flows whose endpoints were partitioned apart by failures; they
         # resume via retry_stranded() once a repair restores a path.
         self._stranded: List[Flow] = []
+        self._transfer_seq = 0
         self.flows_completed = 0
         self.flows_rerouted = 0
         self.flows_stranded = 0
@@ -212,7 +213,11 @@ class FlowNetwork:
         callback: Callable[[], None],
         now: float,
     ) -> Flow:
-        path = self.router.route(src, dst, flow_key=f"{src}->{dst}#{Flow._ids}")
+        # Per-network transfer counter, not the repr of a shared
+        # itertools.count: distinct transfers between the same pair must get
+        # distinct flow keys so ECMP actually spreads them.
+        self._transfer_seq += 1
+        path = self.router.route(src, dst, flow_key=f"{src}->{dst}#{self._transfer_seq}")
         hops = self.router.links_on_path(path)
         if not hops:
             raise ValueError(f"degenerate route {path}")

@@ -80,14 +80,28 @@ class Link:
             wake = max(wake, port.begin_activity())
         return wake
 
-    def end_activity(self, src: str, dst: str) -> None:
-        """Traffic stopped traversing ``src -> dst``."""
+    def end_activity(self, src: str, dst: str, quiet_since: Optional[float] = None) -> None:
+        """Traffic stopped traversing ``src -> dst``.
+
+        ``quiet_since`` settles a batched end that logically happened at an
+        earlier instant (see :meth:`Port.end_activity`).
+        """
         key = self.direction(src, dst)
         if self._active[key] <= 0:
             raise RuntimeError(f"no active traffic on {self} {key}")
         self._active[key] -= 1
         for port in self.ports.values():
-            port.end_activity()
+            port.end_activity(quiet_since)
+
+    def cancel_activity(self, src: str, dst: str) -> None:
+        """Unwind one ``begin_activity`` without timer side effects (used by
+        the packet-train fast path when a reserved window never opened)."""
+        key = self.direction(src, dst)
+        if self._active[key] <= 0:
+            raise RuntimeError(f"no active traffic on {self} {key}")
+        self._active[key] -= 1
+        for port in self.ports.values():
+            port.cancel_activity()
 
     def active_count(self, src: str, dst: str) -> int:
         return self._active[self.direction(src, dst)]

@@ -68,6 +68,8 @@ class Port:
     def begin_activity(self) -> float:
         """Traffic starts using this port; returns the wake latency to charge."""
         self._active_users += 1
+        if self._active_users == 1:
+            self.linecard._note_port_busy()
         self._cancel_lpi_timer()
         wake = 0.0
         if self.state is PortState.LPI:
@@ -77,13 +79,36 @@ class Port:
         wake += self.linecard.notify_activity()
         return wake
 
-    def end_activity(self) -> None:
-        """One unit of traffic stopped using this port."""
+    def end_activity(self, quiet_since: Optional[float] = None) -> None:
+        """One unit of traffic stopped using this port.
+
+        ``quiet_since`` lets a batched caller settle an ``end`` that
+        logically happened earlier: the LPI timer is armed at the absolute
+        deadline ``quiet_since + lpi_timer_s``, exactly where a live call
+        at ``quiet_since`` would have put it.
+        """
         if self._active_users <= 0:
             raise RuntimeError(f"{self} has no active users to end")
         self._active_users -= 1
         if self._active_users == 0:
-            self._arm_lpi_timer()
+            self.linecard._note_port_idle()
+            if quiet_since is None:
+                self._arm_lpi_timer()
+            else:
+                self._arm_lpi_timer_at(quiet_since + self.profile.lpi_timer_s)
+
+    def cancel_activity(self) -> None:
+        """Forget one ``begin_activity`` without any timer side effects.
+
+        Used by the packet-train fast path to unwind reservations whose
+        busy window never actually opened; the caller restores any timer it
+        recorded before the begin.
+        """
+        if self._active_users <= 0:
+            raise RuntimeError(f"{self} has no active users to cancel")
+        self._active_users -= 1
+        if self._active_users == 0:
+            self.linecard._note_port_idle()
 
     @property
     def busy(self) -> bool:
@@ -100,6 +125,10 @@ class Port:
     def _arm_lpi_timer(self) -> None:
         self._cancel_lpi_timer()
         self._lpi_timer = self.engine.schedule(self.profile.lpi_timer_s, self._enter_lpi)
+
+    def _arm_lpi_timer_at(self, deadline: float) -> None:
+        self._cancel_lpi_timer()
+        self._lpi_timer = self.engine.schedule_at(deadline, self._enter_lpi)
 
     def _cancel_lpi_timer(self) -> None:
         if self._lpi_timer is not None and self._lpi_timer.pending:
@@ -154,6 +183,9 @@ class LineCard:
         self.state = LineCardState.ACTIVE
         self.tracker = StateTracker(self.state.value, self.engine.now)
         self.energy = EnergyAccount(f"{self}", self.profile.active_w, self.engine.now)
+        # Count of ports with active users, maintained by the ports
+        # themselves, so quiet checks are O(1) instead of scanning ports.
+        self._busy_ports = 0
         self.ports: List[Port] = [Port(self, i) for i in range(n_ports)]
         self._sleep_timer: Optional[EventHandle] = None
         # Newly built line cards are idle; start the race to sleep.
@@ -173,12 +205,18 @@ class LineCard:
 
     def note_port_quiet(self) -> None:
         """A port went quiet; if all are quiet, start the sleep timer."""
-        if all(not p.busy for p in self.ports):
+        if self._busy_ports == 0:
             self._arm_sleep_timer()
+
+    def _note_port_busy(self) -> None:
+        self._busy_ports += 1
+
+    def _note_port_idle(self) -> None:
+        self._busy_ports -= 1
 
     @property
     def all_ports_quiet(self) -> bool:
-        return all(not p.busy for p in self.ports)
+        return self._busy_ports == 0
 
     # ------------------------------------------------------------------
     def _arm_sleep_timer(self) -> None:
@@ -186,6 +224,12 @@ class LineCard:
             return
         self._cancel_sleep_timer()
         self._sleep_timer = self.engine.schedule(self.profile.sleep_timer_s, self._enter_sleep)
+
+    def _arm_sleep_timer_at(self, deadline: float) -> None:
+        if self.profile.sleep_timer_s is None:
+            return
+        self._cancel_sleep_timer()
+        self._sleep_timer = self.engine.schedule_at(deadline, self._enter_sleep)
 
     def _cancel_sleep_timer(self) -> None:
         if self._sleep_timer is not None and self._sleep_timer.pending:
@@ -286,7 +330,7 @@ class Switch:
         """Park the whole switch; refuses while any port carries traffic."""
         if self.state is not SwitchState.ON:
             return False
-        if any(p.busy for p in self.ports):
+        if any(lc._busy_ports for lc in self.linecards):
             return False
         # Power down the hierarchy so per-component energy accounts stop.
         for lc in self.linecards:

@@ -20,7 +20,7 @@ import os
 import platform
 import sys
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.engine import Engine
 from repro.core.rng import RandomSource
@@ -35,7 +35,7 @@ from repro.workload.profiles import (
     web_search_profile,
 )
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 def bench_engine_events(n_events: int = 200_000) -> float:
@@ -91,6 +91,103 @@ def bench_task_churn(n_jobs: int = 20_000) -> float:
     return farm.scheduler.jobs_completed / elapsed
 
 
+def bench_net_packet_throughput(n_packets: int = 50_000) -> float:
+    """Per-packet data-plane throughput (packets/s) under heavy queueing.
+
+    A same-instant storm of single packets across a star fabric: every
+    directed hop serialises its share through the output queue, so this
+    measures the per-packet event path (queue churn + port power activity),
+    which is also the fast path's materialization fallback.
+    """
+    from repro.core.engine import Engine as _Engine
+    from repro.network.packet import PacketNetwork
+    from repro.network.topology import star
+
+    engine = _Engine()
+    topo = star(engine, 16)
+    net = PacketNetwork(engine, topo)
+    for i in range(n_packets):
+        src = i % 16
+        dst = (src + 1 + (i % 15)) % 16
+        engine.post_at(0.0, net.send_packet, f"h{src}", f"h{dst}", 1500.0)
+    start = time.perf_counter()
+    engine.run()
+    elapsed = time.perf_counter() - start
+    return net.packets_delivered / elapsed
+
+
+def _fanout_wall_clock(fast_path: bool, rounds: int) -> Tuple[float, int]:
+    """Wall-clock seconds for a rounds×16-transfer permutation workload.
+
+    Disjoint server pairs on a 32-host star, so every route is idle when its
+    transfer launches: with ``fast_path`` each 100-packet transfer collapses
+    to a handful of events, without it ~400.  Returns (seconds, transfers).
+    """
+    from repro.core.engine import Engine as _Engine
+    from repro.network.packet import PacketNetwork
+    from repro.network.topology import star
+
+    engine = _Engine()
+    topo = star(engine, 32)
+    net = PacketNetwork(engine, topo, fast_path=fast_path)
+    done = [0]
+
+    def bump() -> None:
+        done[0] += 1
+
+    def launch_round() -> None:
+        for i in range(16):
+            net.transfer(2 * i, 2 * i + 1, 150_000.0, bump)
+
+    for r in range(rounds):
+        # 2 ms apart: every transfer (~1.3 ms end to end) finishes and its
+        # links go idle again before the next round launches.
+        engine.schedule_at(r * 2e-3, launch_round)
+    start = time.perf_counter()
+    engine.run()
+    elapsed = time.perf_counter() - start
+    assert done[0] == 16 * rounds
+    return elapsed, done[0]
+
+
+def bench_net_transfer_fanout(rounds: int = 25) -> Tuple[float, float]:
+    """Fast-path transfer throughput (transfers/s) and speedup vs per-packet.
+
+    Runs the identical permutation workload with the fast path off and on;
+    the delivered timestamps are bit-identical (see
+    ``tests/network/test_fast_path.py``), only the event count differs.
+    """
+    wall_slow, _ = _fanout_wall_clock(False, rounds)
+    wall_fast, n = _fanout_wall_clock(True, rounds)
+    return n / wall_fast, (wall_slow / wall_fast if wall_fast else 0.0)
+
+
+def bench_net_large_topology(n_routes: int = 30_000) -> float:
+    """ECMP route queries/s on a k=8 fat-tree (128 hosts, 80 switches).
+
+    Includes the lazy BFS table builds, which amortise across queries —
+    the pattern the next-hop-table router replaced per-pair
+    ``all_shortest_paths`` enumeration with.
+    """
+    from repro.core.engine import Engine as _Engine
+    from repro.network.routing import Router
+    from repro.network.topology import fat_tree
+
+    engine = _Engine()
+    topo = fat_tree(engine, 8)
+    router = Router(topo)
+    n_servers = topo.n_servers
+    start = time.perf_counter()
+    for i in range(n_routes):
+        src = (i * 7 + 3) % n_servers
+        dst = (i * 13 + 29) % n_servers
+        if src == dst:
+            dst = (dst + 1) % n_servers
+        router.route(f"h{src}", f"h{dst}", flow_key=f"f{i & 1023}")
+    elapsed = time.perf_counter() - start
+    return n_routes / elapsed
+
+
 def _sweep_wall_clock(jobs: int, n_servers: int, duration_s: float) -> float:
     """Wall-clock seconds for an 8-point delay-timer sweep."""
     start = time.perf_counter()
@@ -136,6 +233,18 @@ def run_bench(
         "jobs_per_s": round(bench_task_churn(10_000 if quick else 20_000)),
     }
 
+    # The packet and routing benches stay full-size in quick mode for the
+    # same comparability reason as the engine benches: at smaller query
+    # counts the BFS table builds / queue warm-up dominate and the measured
+    # rate drops well below the committed full-mode baseline.
+    fanout_rate, fanout_speedup = bench_net_transfer_fanout(8 if quick else 25)
+    result["network"] = {
+        "packets_per_s": round(bench_net_packet_throughput(50_000)),
+        "fanout_transfers_per_s": round(fanout_rate),
+        "fanout_speedup": round(fanout_speedup, 2),
+        "routes_per_s": round(bench_net_large_topology(30_000)),
+    }
+
     if not skip_sweep:
         n_servers = 6 if quick else 12
         duration_s = 3.0 if quick else 10.0
@@ -178,6 +287,9 @@ def check_regression(
         ("engine", "events_per_s"),
         ("engine", "schedule_cancel_per_s"),
         ("farm", "jobs_per_s"),
+        ("network", "packets_per_s"),
+        ("network", "fanout_transfers_per_s"),
+        ("network", "routes_per_s"),
         ("scalability", "events_per_s"),
     ]
     problems = []
@@ -202,6 +314,14 @@ def render(result: Dict[str, Any]) -> str:
     lines.append(f"  engine events/s:          {engine.get('events_per_s', 0):>12,}")
     lines.append(f"  schedule+cancel pairs/s:  {engine.get('schedule_cancel_per_s', 0):>12,}")
     lines.append(f"  farm jobs/s:              {result.get('farm', {}).get('jobs_per_s', 0):>12,}")
+    network = result.get("network")
+    if network:
+        lines.append(f"  net packets/s:            {network.get('packets_per_s', 0):>12,}")
+        lines.append(
+            f"  net fanout transfers/s:   {network.get('fanout_transfers_per_s', 0):>12,} "
+            f"({network.get('fanout_speedup', 0):.1f}x vs per-packet)"
+        )
+        lines.append(f"  net routes/s:             {network.get('routes_per_s', 0):>12,}")
     sweep = result.get("sweep")
     if sweep:
         workers = sweep.get("workers", 4)

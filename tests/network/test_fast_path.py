@@ -1,0 +1,196 @@
+"""Equivalence tests for the packet-train / express data-plane fast path.
+
+The fast path is a pure performance optimisation: delivered timestamps,
+packet delays, port/line-card residencies and energies must be *bit-for-bit*
+identical to the per-packet model, whether a train runs to completion or is
+materialized back into packets by cross-traffic.  These tests run the same
+workload with ``fast_path`` on and off and diff every observable.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import Engine
+from repro.network.packet import PacketNetwork
+from repro.network.topology import fat_tree, star
+
+HORIZON = 5.0
+
+
+def run_workload(events, *, fast_path, express=True, builder=None, mtu=1500.0):
+    """Run transfers at scheduled times; return (engine, topo, net, completions)."""
+    engine = Engine()
+    topo = (builder or (lambda e: star(e, 8)))(engine)
+    net = PacketNetwork(engine, topo, mtu_bytes=mtu,
+                        fast_path=fast_path, express=express)
+    completions = []
+
+    def launch(src, dst, size):
+        net.transfer(src, dst, size,
+                     lambda: completions.append((engine.now, src, dst)))
+
+    for t, src, dst, size in events:
+        engine.schedule_at(t, launch, src, dst, size)
+    engine.run(until=HORIZON)
+    return engine, topo, net, completions
+
+
+def observables(topo, net, completions):
+    """Everything the fast path must leave unchanged, exactly."""
+    ports = []
+    cards = []
+    for name in sorted(topo.switches):
+        switch = topo.switches[name]
+        for lc in switch.linecards:
+            cards.append((lc.state.value,
+                          tuple(sorted(lc.tracker.residency(HORIZON).items())),
+                          lc.energy_j(HORIZON)))
+            for port in lc.ports:
+                ports.append((port.state.value,
+                              tuple(sorted(port.tracker.residency(HORIZON).items())),
+                              port.energy.energy_j(HORIZON)))
+    return {
+        "completions": sorted(completions),
+        "packets_delivered": net.packets_delivered,
+        "delays": sorted(net.packet_delay.samples),
+        "switch_energy": [topo.switches[n].energy_j(HORIZON)
+                          for n in sorted(topo.switches)],
+        "ports": ports,
+        "cards": cards,
+    }
+
+
+def assert_equivalent(events, builder=None, mtu=1500.0):
+    _, topo_s, net_s, done_s = run_workload(events, fast_path=False,
+                                            builder=builder, mtu=mtu)
+    _, topo_f, net_f, done_f = run_workload(events, fast_path=True,
+                                            builder=builder, mtu=mtu)
+    assert observables(topo_f, net_f, done_f) == observables(topo_s, net_s, done_s)
+    return net_f
+
+
+# ----------------------------------------------------------------------
+# Directed scenarios
+# ----------------------------------------------------------------------
+def test_single_uncontended_transfer_bit_matches():
+    net = assert_equivalent([(0.0, 0, 1, 6000.0)])
+    assert net.trains_engaged == 1
+
+
+def test_express_engages_on_warm_route_and_bit_matches():
+    # First transfer warms the ports out of LPI; the second finds every
+    # port ACTIVE with all timers far away, so it goes express.
+    events = [(0.0, 0, 1, 4000.0), (2e-4, 0, 1, 4000.0)]
+    net = assert_equivalent(events)
+    assert net.trains_express >= 1
+
+
+def test_cross_traffic_materializes_train():
+    # A long train 0->1 is interrupted mid-flight by 2->1, which shares the
+    # (sw, h1) hop: the train must fold back into per-packet state with
+    # identical timestamps.
+    events = [(0.0, 0, 1, 150_000.0), (1e-4, 2, 1, 15_000.0)]
+    net = assert_equivalent(events)
+    assert net.trains_materialized >= 1
+
+
+def test_reverse_direction_traffic_materializes_train():
+    # 1->0 uses the reverse directions of 0->1's links; the train reserves
+    # both, so the reverse transfer must materialize it.
+    events = [(0.0, 0, 1, 150_000.0), (1e-4, 1, 0, 15_000.0)]
+    net = assert_equivalent(events)
+    assert net.trains_materialized >= 1
+
+
+def test_simultaneous_transfers_same_instant():
+    # Same-instant contention: the second transfer materializes the first
+    # at its own start time.
+    events = [(0.0, 0, 1, 30_000.0), (0.0, 2, 1, 30_000.0),
+              (0.0, 1, 0, 30_000.0)]
+    assert_equivalent(events)
+
+
+def test_fat_tree_multihop_bit_matches():
+    events = [(0.0, 0, 15, 50_000.0), (3e-4, 5, 10, 20_000.0),
+              (5e-4, 0, 15, 8_000.0)]
+    assert_equivalent(events, builder=lambda e: fat_tree(e, 4))
+
+
+def test_fast_path_reduces_events_at_least_4x():
+    # Disjoint pairs so no two trains share a link (trains reserve both
+    # directions); each 100-packet transfer collapses from ~400 events to
+    # ~5.
+    events = [(0.0, 2 * i, 2 * i + 1, 150_000.0) for i in range(4)]
+    engine_s, topo_s, net_s, done_s = run_workload(events, fast_path=False)
+    engine_f, topo_f, net_f, done_f = run_workload(events, fast_path=True)
+    assert observables(topo_f, net_f, done_f) == observables(topo_s, net_s, done_s)
+    assert net_f.trains_engaged == 4
+    assert engine_s.events_executed >= 4 * engine_f.events_executed
+
+
+def test_fast_path_flag_off_disables_batching():
+    _, _, net, _ = run_workload([(0.0, 0, 1, 30_000.0)], fast_path=False)
+    assert net.trains_engaged == 0
+    assert net.trains_express == 0
+
+
+# ----------------------------------------------------------------------
+# Loud tail-drop (satellite)
+# ----------------------------------------------------------------------
+def test_transfer_strands_loudly_on_tail_drop():
+    engine = Engine()
+    topo = star(engine, 4)
+    net = PacketNetwork(engine, topo, mtu_bytes=1000.0, max_queue_packets=1)
+    done = []
+    dropped = []
+    engine.schedule_at(
+        0.0, net.transfer, 0, 1, 20_000.0, lambda: done.append(engine.now),
+        dropped.append,
+    )
+    engine.run(until=HORIZON)
+    assert not done  # the transfer hangs: some packets were tail-dropped
+    assert net.packets_dropped > 0
+    assert net.transfers_stranded == 1
+    assert len(dropped) == 1  # on_drop fires once, on the first drop
+    assert dropped[0].path[0] == topo.server_node(0)
+
+
+def test_unstranded_transfers_complete_without_on_drop():
+    engine = Engine()
+    topo = star(engine, 4)
+    net = PacketNetwork(engine, topo, max_queue_packets=64)
+    done = []
+    dropped = []
+    engine.schedule_at(0.0, net.transfer, 0, 1, 30_000.0,
+                       lambda: done.append(engine.now), dropped.append)
+    engine.run(until=HORIZON)
+    assert len(done) == 1
+    assert not dropped
+    assert net.transfers_stranded == 0
+
+
+# ----------------------------------------------------------------------
+# Property test: random workloads bit-match, contended or not
+# ----------------------------------------------------------------------
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_transfers=st.integers(min_value=1, max_value=8),
+    topo_name=st.sampled_from(["star", "fat_tree"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_workloads_bit_match_per_packet_model(seed, n_transfers, topo_name):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    builder = (lambda e: star(e, 8)) if topo_name == "star" else (lambda e: fat_tree(e, 4))
+    n_servers = 8 if topo_name == "star" else 16
+    events = []
+    for _ in range(n_transfers):
+        src, dst = (int(x) for x in rng.choice(n_servers, size=2, replace=False))
+        t = float(rng.integers(0, 2000)) * 1e-6
+        size = float(rng.integers(1, 40_000))
+        events.append((t, src, dst, size))
+    assert_equivalent(events, builder=builder, mtu=1000.0)

@@ -76,6 +76,69 @@ def test_cache_invalidation():
     topo = star(engine, 3)
     router = Router(topo)
     router.route("h0", "h1")
-    assert router._cache
+    assert router._tables
+    epoch = router.epoch
     router.invalidate_cache()
-    assert not router._cache
+    assert not router._tables
+    assert router.epoch == epoch + 1
+
+
+def test_ecmp_choice_deterministic_across_table_rebuilds():
+    """The same flow key must map to the same path before and after the
+    next-hop tables are dropped and rebuilt (ECMP must not depend on build
+    order or process state)."""
+    engine = Engine()
+    topo = fat_tree(engine, 4)
+    router = Router(topo)
+    keys = [f"flow-{i}" for i in range(64)]
+    before = {k: router.route("h0", "h15", flow_key=k) for k in keys}
+    builds = router.table_builds
+    router.invalidate_cache()
+    after = {k: router.route("h0", "h15", flow_key=k) for k in keys}
+    assert router.table_builds > builds  # tables genuinely rebuilt
+    assert after == before
+
+
+def test_next_hop_tables_invalidated_by_topology_faults():
+    """Fault mutations must invalidate the tables via the change listener:
+    routes computed after a failure avoid the dead component, and repair
+    restores the original routes."""
+    engine = Engine()
+    topo = fat_tree(engine, 4)
+    router = Router(topo)
+    original = router.route("h0", "h15", flow_key="f")
+    # Mid-path (core) switch: failing an edge switch would partition h0.
+    victim = original[len(original) // 2]
+    assert topo.is_switch(victim)
+    epoch = router.epoch
+
+    topo.fail_node(victim)
+    assert router.epoch > epoch
+    rerouted = router.route("h0", "h15", flow_key="f")
+    assert victim not in rerouted
+    for k in range(32):
+        assert victim not in router.route("h0", "h15", flow_key=f"k{k}")
+
+    topo.repair_node(victim)
+    assert router.route("h0", "h15", flow_key="f") == original
+
+
+def test_link_fault_churn_keeps_tables_consistent():
+    """Repeated link fail/repair cycles: every served route must be a valid
+    walk over the *current* live topology."""
+    engine = Engine()
+    topo = fat_tree(engine, 4)
+    router = Router(topo)
+    base = router.route("h0", "h15", flow_key="churn")
+    # Fail a mid-path (agg-core) link; the host's single uplink would
+    # partition it instead of forcing a detour.
+    u, v = base[2], base[3]
+    for _ in range(3):
+        topo.fail_link(u, v)
+        path = router.route("h0", "h15", flow_key="churn")
+        hops = set(zip(path, path[1:]))
+        assert (u, v) not in hops and (v, u) not in hops
+        for a, b in zip(path, path[1:]):
+            assert topo.path_is_up([a, b])
+        topo.repair_link(u, v)
+        assert router.route("h0", "h15", flow_key="churn") == base
