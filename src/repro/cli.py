@@ -27,8 +27,10 @@ Use ``--help`` on any subcommand for its knobs.
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import List, Optional
 
+from repro.runner import SweepInterrupted, SweepOptions
 from repro.experiments import (
     adaptive,
     delay_timer,
@@ -66,6 +68,29 @@ def _workload(name: str) -> WorkloadProfile:
         ) from None
 
 
+def _sweep_options(args: argparse.Namespace) -> Optional[SweepOptions]:
+    """Build a resilience policy from the common flags; None when untouched.
+
+    Returning None keeps the zero-overhead legacy path for plain runs and
+    preserves raw exception propagation (no SweepError wrapping).
+    """
+    if args.resume and not args.journal:
+        raise SystemExit("--resume requires --journal PATH")
+    if not (args.point_timeout or args.retries or args.keep_going or args.journal):
+        return None
+    return SweepOptions(
+        point_timeout_s=args.point_timeout,
+        retries=args.retries,
+        keep_going=args.keep_going,
+        journal_path=args.journal,
+        resume=args.resume,
+    )
+
+
+def _audit_mode(args: argparse.Namespace) -> str:
+    return "strict" if args.strict_invariants else "warn"
+
+
 def _parse_threshold_pairs(specs: List[str]) -> List[tuple]:
     pairs = []
     for spec in specs:
@@ -90,11 +115,13 @@ def _cmd_provisioning(args: argparse.Namespace) -> None:
         day_length_s=args.day_length,
         seed=args.seed,
         trace=trace,
+        audit=_audit_mode(args),
     )
     if args.sweep_thresholds:
         sweep = provisioning.run_provisioning_sweep(
             _parse_threshold_pairs(args.sweep_thresholds),
             jobs=args.jobs,
+            sweep_options=_sweep_options(args),
             **shared,
         )
         print(sweep.render())
@@ -135,6 +162,8 @@ def _cmd_delay_timer(args: argparse.Namespace) -> None:
         duration_s=args.duration,
         seed=args.seed,
         jobs=args.jobs,
+        sweep_options=_sweep_options(args),
+        audit=_audit_mode(args),
     )
     print(sweep.render())
 
@@ -148,6 +177,8 @@ def _cmd_residency(args: argparse.Namespace) -> None:
         duration_s=args.duration,
         seed=args.seed,
         jobs=args.jobs,
+        sweep_options=_sweep_options(args),
+        audit=_audit_mode(args),
     )
     print(result.render())
 
@@ -159,13 +190,16 @@ def _cmd_joint(args: argparse.Namespace) -> None:
         n_jobs=args.num_jobs,
         seed=args.seed,
         jobs=args.jobs,
+        sweep_options=_sweep_options(args),
+        audit=_audit_mode(args),
     )
     print(comparison.render())
 
 
 def _cmd_validate_server(args: argparse.Namespace) -> None:
     result = validation_server.run_server_validation(
-        duration_s=args.duration, mean_rate=args.rate, seed=args.seed
+        duration_s=args.duration, mean_rate=args.rate, seed=args.seed,
+        audit=_audit_mode(args),
     )
     print(result.render())
 
@@ -176,6 +210,7 @@ def _cmd_validate_switch(args: argparse.Namespace) -> None:
         day_length_s=args.duration / 2.0,
         mean_rate=args.rate,
         seed=args.seed,
+        audit=_audit_mode(args),
     )
     print(result.render())
 
@@ -193,6 +228,8 @@ def _cmd_faults(args: argparse.Namespace) -> None:
         seed=args.seed,
         profile=_workload(args.workload),
         jobs=args.jobs,
+        sweep_options=_sweep_options(args),
+        audit=_audit_mode(args),
     )
     print(sweep.render())
 
@@ -200,12 +237,14 @@ def _cmd_faults(args: argparse.Namespace) -> None:
 def _cmd_scalability(args: argparse.Namespace) -> None:
     if args.sizes:
         sweep = scalability.run_scalability_sweep(
-            args.sizes, n_jobs=args.num_jobs, seed=args.seed, jobs=args.jobs
+            args.sizes, n_jobs=args.num_jobs, seed=args.seed, jobs=args.jobs,
+            sweep_options=_sweep_options(args), audit=_audit_mode(args),
         )
         print(sweep.render())
         return
     result = scalability.run_scalability(
-        n_servers=args.servers, n_jobs=args.num_jobs, seed=args.seed
+        n_servers=args.servers, n_jobs=args.num_jobs, seed=args.seed,
+        audit=_audit_mode(args),
     )
     print(result.render())
 
@@ -238,6 +277,36 @@ def build_parser() -> argparse.ArgumentParser:
             "-j", "--jobs", type=int, default=1, metavar="N",
             help="worker processes for independent sweep points "
                  "(results are identical to --jobs 1)",
+        )
+        resilience = p.add_argument_group(
+            "resilient sweeps",
+            "per-point retry/timeout, checkpoint journal, and invariant audits",
+        )
+        resilience.add_argument(
+            "--point-timeout", type=float, default=None, metavar="SECONDS",
+            help="kill and retry any sweep point that runs longer than this",
+        )
+        resilience.add_argument(
+            "--retries", type=int, default=0, metavar="N",
+            help="extra attempts per point after a failure or timeout",
+        )
+        resilience.add_argument(
+            "--keep-going", action="store_true",
+            help="finish the sweep even if points fail; failed points are "
+                 "dropped from the report instead of aborting the run",
+        )
+        resilience.add_argument(
+            "--journal", default=None, metavar="PATH",
+            help="checkpoint completed sweep points to this JSONL file",
+        )
+        resilience.add_argument(
+            "--resume", action="store_true",
+            help="reuse results recorded in --journal for unchanged points",
+        )
+        resilience.add_argument(
+            "--strict-invariants", action="store_true",
+            help="fail a point when its end-of-run conservation audit finds "
+                 "violations (default: warn on stderr)",
         )
 
     p = sub.add_parser("provisioning", help="Fig. 4: threshold provisioning")
@@ -355,7 +424,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> None:
     args = build_parser().parse_args(argv)
-    args.fn(args)
+    try:
+        args.fn(args)
+    except SweepInterrupted as exc:
+        print(
+            f"\ninterrupted: {exc.completed}/{exc.total} sweep points completed",
+            file=sys.stderr,
+        )
+        if exc.journal_path:
+            print(
+                f"completed points are journaled in {exc.journal_path}; "
+                f"rerun with --journal {exc.journal_path} --resume to finish",
+                file=sys.stderr,
+            )
+        raise SystemExit(130)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -265,6 +265,15 @@ class Engine:
         """Stop the loop after the current event; usable from callbacks."""
         self._stopped = True
 
+    @property
+    def stopped(self) -> bool:
+        """True if the last :meth:`run` ended via an explicit :meth:`stop`.
+
+        Invariant audits use this to distinguish "queue drained" from
+        "deliberately halted with work outstanding" at simulation end.
+        """
+        return self._stopped
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

@@ -1,0 +1,308 @@
+"""End-of-run conservation audits: catch silently-wrong simulations.
+
+A discrete-event simulator rarely crashes when its accounting is broken — it
+just prints a wrong number.  This module gives every experiment a cheap
+self-check, run after the event loop finishes, that asserts the conservation
+laws the model is built on:
+
+* **job conservation** — every job the driver injected is accounted for:
+  ``submitted == completed + failed + still-active``;
+* **task conservation** — server task submissions balance completions plus
+  work still pending plus tasks lost to failures (the fault-injection path);
+* **residency conservation** — each server's state residencies sum to the
+  tracked wall-clock interval (a mis-sequenced ``set_state`` breaks this);
+* **energy == ∫ power** — each energy account's open-interval extension
+  matches its instantaneous power draw, totals equal the sum of their
+  component breakdowns, and no account ran negative;
+* **event-queue discipline** — after a drain-to-completion run the queue is
+  empty (or the engine was explicitly stopped); leftover events mean a
+  component is still ticking after the experiment thinks it ended;
+* **availability bookkeeping** — fault trackers' failure/repair counts are
+  consistent with their current up/down state.
+
+Audits return an :class:`AuditReport`; in *strict* mode a violation raises
+:class:`InvariantError`, which the resilient sweep layer surfaces as a point
+failure instead of journaling a corrupt result.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import Engine
+    from repro.core.stats import AvailabilityTracker
+    from repro.scheduling.global_scheduler import GlobalScheduler
+    from repro.server.server import Server
+    from repro.workload.driver import WorkloadDriver
+
+#: Relative tolerance for float comparisons (energy integrals, residencies).
+REL_TOL = 1e-9
+#: Absolute floor so comparisons near zero do not demand exact equality.
+ABS_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant check."""
+
+    check: str      # machine-readable check id, e.g. "jobs.conservation"
+    subject: str    # which component, e.g. "server-3" or "farm"
+    message: str    # human-readable statement of the imbalance
+
+    def render(self) -> str:
+        return f"[{self.check}] {self.subject}: {self.message}"
+
+
+@dataclass
+class AuditReport:
+    """The outcome of an invariant audit: which checks ran, what failed."""
+
+    checks_run: int = 0
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def merge(self, other: "AuditReport") -> "AuditReport":
+        self.checks_run += other.checks_run
+        self.violations.extend(other.violations)
+        return self
+
+    def record(self, check: str, subject: str, ok: bool, message: str) -> None:
+        self.checks_run += 1
+        if not ok:
+            self.violations.append(Violation(check, subject, message))
+
+    def render(self) -> str:
+        if self.ok:
+            return f"invariant audit: {self.checks_run} checks passed"
+        lines = [
+            f"invariant audit: {len(self.violations)} violation(s) "
+            f"in {self.checks_run} checks"
+        ]
+        lines.extend("  " + v.render() for v in self.violations)
+        return "\n".join(lines)
+
+    def raise_if_violated(self) -> None:
+        if not self.ok:
+            raise InvariantError(self)
+
+
+class InvariantError(AssertionError):
+    """A conservation audit failed; the run's numbers cannot be trusted."""
+
+    def __init__(self, report: AuditReport):
+        self.report = report
+        super().__init__(report.render())
+
+
+def _close(a: float, b: float, scale: float = 1.0) -> bool:
+    tol = max(ABS_TOL, REL_TOL * max(abs(a), abs(b), abs(scale)))
+    return abs(a - b) <= tol
+
+
+# ----------------------------------------------------------------------
+# Individual audits (composable; audit_farm / audit_run bundle them)
+# ----------------------------------------------------------------------
+def audit_engine(
+    engine: "Engine", expect_drained: bool = False
+) -> AuditReport:
+    """The event kernel ended in a sane state."""
+    report = AuditReport()
+    report.record(
+        "engine.clock", "engine",
+        math.isfinite(engine.now) and engine.now >= 0.0,
+        f"simulation clock is {engine.now!r}",
+    )
+    if expect_drained:
+        pending = engine.peek_time()
+        report.record(
+            "engine.drained", "engine",
+            pending is None or engine.stopped,
+            f"event queue not drained (next event at t={pending!r}) and the "
+            f"engine was not explicitly stopped",
+        )
+    return report
+
+
+def audit_jobs(
+    scheduler: "GlobalScheduler", driver: Optional["WorkloadDriver"] = None
+) -> AuditReport:
+    """Every injected job is completed, failed, or still active — no leaks."""
+    report = AuditReport()
+    s = scheduler
+    for name in ("jobs_submitted", "jobs_completed", "jobs_failed",
+                 "active_jobs", "tasks_lost", "tasks_retried",
+                 "tasks_abandoned", "slo_violations"):
+        value = getattr(s, name)
+        report.record(
+            "jobs.counter-sign", "scheduler", value >= 0,
+            f"{name} is negative ({value})",
+        )
+    balance = s.jobs_completed + s.jobs_failed + s.active_jobs
+    report.record(
+        "jobs.conservation", "scheduler",
+        s.jobs_submitted == balance,
+        f"submitted ({s.jobs_submitted}) != completed ({s.jobs_completed}) "
+        f"+ failed ({s.jobs_failed}) + active ({s.active_jobs})",
+    )
+    report.record(
+        "jobs.latency-samples", "scheduler",
+        len(s.job_latency) == s.jobs_completed,
+        f"{len(s.job_latency)} latency samples for {s.jobs_completed} "
+        f"completed jobs",
+    )
+    if driver is not None:
+        report.record(
+            "jobs.injected", "driver",
+            driver.jobs_injected == s.jobs_submitted,
+            f"driver injected {driver.jobs_injected} jobs but the scheduler "
+            f"admitted {s.jobs_submitted}",
+        )
+    return report
+
+
+def audit_tasks(scheduler: "GlobalScheduler") -> AuditReport:
+    """Server task submissions balance completions + pending + lost.
+
+    ``tasks_lost`` counts both tasks lost after submission (server crash)
+    and dispatch attempts that never reached a server (no candidates, stale
+    placement), so the balance is a two-sided bound rather than an equality.
+    """
+    report = AuditReport()
+    s = scheduler
+    submitted = sum(server.tasks_submitted for server in s.servers)
+    completed = sum(server.tasks_completed for server in s.servers)
+    pending = s.total_pending_tasks()
+    slack = submitted - completed - pending
+    report.record(
+        "tasks.conservation", "farm",
+        0 <= slack <= s.tasks_lost,
+        f"submitted ({submitted}) - completed ({completed}) - pending "
+        f"({pending}) = {slack}, outside [0, tasks_lost={s.tasks_lost}]",
+    )
+    return report
+
+
+def audit_residencies(
+    servers: Sequence["Server"], now: float
+) -> AuditReport:
+    """Each server's per-state residencies sum to its tracked interval."""
+    report = AuditReport()
+    for server in servers:
+        tracker = server.residency
+        tracked = now - tracker.start_time
+        total = sum(tracker.residency(now).values())
+        report.record(
+            "residency.conservation", server.name,
+            tracked >= -ABS_TOL and _close(total, tracked, scale=max(now, 1.0)),
+            f"state residencies sum to {total:.9g}s over a {tracked:.9g}s "
+            f"tracked interval",
+        )
+    return report
+
+
+def audit_energy(servers: Sequence["Server"], now: float) -> AuditReport:
+    """Energy accounts integrate power: finite, non-negative, consistent."""
+    report = AuditReport()
+    for server in servers:
+        breakdown = server.energy_breakdown_j(now)
+        for component, energy in breakdown.items():
+            report.record(
+                "energy.finite", f"{server.name}.{component}",
+                math.isfinite(energy) and energy >= -ABS_TOL,
+                f"energy is {energy!r} J",
+            )
+        total = server.total_energy_j(now)
+        report.record(
+            "energy.breakdown-sum", server.name,
+            _close(total, sum(breakdown.values()), scale=max(total, 1.0)),
+            f"total energy {total:.9g} J != sum of components "
+            f"{sum(breakdown.values()):.9g} J",
+        )
+        # The open-interval extension must integrate the instantaneous
+        # power: E(now + 1s) - E(now) == P(now) × 1s.  energy_j() is pure,
+        # so probing one second ahead does not disturb the accounts.
+        for account in (server.cpu_energy, server.dram_energy,
+                        server.platform_energy):
+            marginal = account.energy_j(now + 1.0) - account.energy_j(now)
+            report.record(
+                "energy.integral", f"{server.name}.{account.name}",
+                _close(marginal, account.power_w,
+                       scale=max(abs(account.power_w), 1.0)),
+                f"energy grew {marginal:.9g} J over 1 s at a declared draw "
+                f"of {account.power_w:.9g} W",
+            )
+    return report
+
+
+def audit_availability(
+    trackers: Iterable["AvailabilityTracker"], now: float
+) -> AuditReport:
+    """Fault trackers: failures/repairs counts agree with the current state."""
+    report = AuditReport()
+    for tracker in trackers:
+        expected_gap = 0 if tracker.is_up else 1
+        report.record(
+            "availability.transitions", tracker.name,
+            tracker.failures - tracker.repairs == expected_gap,
+            f"{tracker.failures} failures vs {tracker.repairs} repairs "
+            f"while {'up' if tracker.is_up else 'down'}",
+        )
+        fraction = tracker.uptime_fraction(now)
+        report.record(
+            "availability.fraction", tracker.name,
+            -ABS_TOL <= fraction <= 1.0 + ABS_TOL,
+            f"uptime fraction {fraction!r} outside [0, 1]",
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Bundles
+# ----------------------------------------------------------------------
+def audit_run(
+    engine: "Engine",
+    servers: Sequence["Server"] = (),
+    scheduler: Optional["GlobalScheduler"] = None,
+    driver: Optional["WorkloadDriver"] = None,
+    availability: Iterable["AvailabilityTracker"] = (),
+    now: Optional[float] = None,
+    expect_drained: bool = False,
+) -> AuditReport:
+    """Run every applicable audit over one simulation's components."""
+    t = engine.now if now is None else now
+    report = audit_engine(engine, expect_drained=expect_drained)
+    if scheduler is not None:
+        report.merge(audit_jobs(scheduler, driver))
+        report.merge(audit_tasks(scheduler))
+    if servers:
+        report.merge(audit_residencies(servers, t))
+        report.merge(audit_energy(servers, t))
+    availability = list(availability)
+    if availability:
+        report.merge(audit_availability(availability, t))
+    return report
+
+
+def audit_farm(
+    farm,
+    driver: Optional["WorkloadDriver"] = None,
+    availability: Iterable["AvailabilityTracker"] = (),
+    now: Optional[float] = None,
+    expect_drained: bool = False,
+) -> AuditReport:
+    """Audit an :class:`~repro.experiments.common.Farm` after a run."""
+    return audit_run(
+        farm.engine,
+        servers=farm.servers,
+        scheduler=farm.scheduler,
+        driver=driver,
+        availability=availability,
+        now=now,
+        expect_drained=expect_drained,
+    )

@@ -50,6 +50,11 @@ class StateTracker:
         """The current state name."""
         return self._state
 
+    @property
+    def start_time(self) -> float:
+        """When tracking began; residencies over ``now - start_time`` sum to 1."""
+        return self._start
+
     def set_state(self, state: str, now: float) -> None:
         """Move to ``state`` at time ``now``; same-state calls are no-ops."""
         if now < self._since:

@@ -26,7 +26,7 @@ from repro.core.rng import RandomSource
 from repro.experiments.common import Farm, build_farm, drive
 from repro.power.adaptive import AdaptivePoolManager
 from repro.power.controller import DelayTimerController
-from repro.runner import SweepSpec, run_sweep
+from repro.runner import SweepOptions, SweepSpec, run_sweep
 from repro.scheduling.policies import LeastLoadedPolicy, PackingPolicy
 from repro.server.states import ResidencyCategory
 from repro.workload.arrivals import TraceProcess, arrival_rate_for_utilization
@@ -58,6 +58,7 @@ def _build_adaptive_farm(
     t_wakeup: float,
     t_sleep: float,
     server_config: Optional[ServerConfig],
+    audit: str = "warn",
 ) -> Farm:
     config = server_config or xeon_e5_2680_server(n_cores=n_cores)
     farm = build_farm(n_servers, config, seed=seed)
@@ -79,7 +80,7 @@ def _build_adaptive_farm(
         duration_s, day_length_s,
     )
     drive(farm, arrivals, profile.job_factory(rng.stream("service")),
-          duration_s=duration_s, drain=False)
+          duration_s=duration_s, drain=False, audit=audit)
     return farm
 
 
@@ -94,6 +95,7 @@ def run_residency_point(
     t_sleep: float = 2.0,
     seed: int = 3,
     server_config: Optional[ServerConfig] = None,
+    audit: str = "warn",
 ) -> Dict[str, object]:
     """One Fig. 8 cell: residency fractions and p95 latency at one rho.
 
@@ -102,7 +104,7 @@ def run_residency_point(
     """
     farm = _build_adaptive_farm(
         utilization, profile, n_servers, n_cores, duration_s, day_length_s,
-        seed, t_wakeup, t_sleep, server_config,
+        seed, t_wakeup, t_sleep, server_config, audit=audit,
     )
     latency = farm.scheduler.job_latency
     return {
@@ -152,6 +154,8 @@ def run_state_residency(
     seed: int = 3,
     server_config: Optional[ServerConfig] = None,
     jobs: int = 1,
+    sweep_options: Optional[SweepOptions] = None,
+    audit: str = "warn",
 ) -> ResidencyResult:
     """The Fig. 8 sweep for one workload (utilization points in parallel
     when ``jobs > 1``)."""
@@ -169,16 +173,19 @@ def run_state_residency(
             t_sleep=t_sleep,
             seed=seed,
             server_config=server_config,
+            audit=audit,
         )
-    cells = run_sweep(spec, jobs=jobs)
+    cells = run_sweep(spec, jobs=jobs, options=sweep_options)
     residency: Dict[float, Dict[str, float]] = {}
     p95: Dict[float, float] = {}
     for utilization, cell in zip(utilizations, cells):
+        if cell is None:  # failed point under keep_going: leave the row out
+            continue
         residency[utilization] = cell["residency"]
         p95[utilization] = cell["p95_latency_s"]
     return ResidencyResult(
         workload=profile.name,
-        utilizations=list(utilizations),
+        utilizations=[u for u in utilizations if u in residency],
         residency=residency,
         p95_latency_s=p95,
     )
@@ -239,6 +246,7 @@ def run_energy_breakdown(
     t_sleep: float = 2.0,
     seed: int = 3,
     server_config: Optional[ServerConfig] = None,
+    audit: str = "warn",
 ) -> EnergyBreakdownResult:
     """The Fig. 9 comparison: delay-timer policy vs the adaptive framework."""
     config = server_config or xeon_e5_2680_server(n_cores=n_cores)
@@ -255,13 +263,13 @@ def run_energy_breakdown(
         duration_s, day_length_s,
     )
     drive(farm_dt, arrivals, profile.job_factory(rng.stream("service")),
-          duration_s=duration_s, drain=False)
+          duration_s=duration_s, drain=False, audit=audit)
 
     # Arm 2: the workload-adaptive framework on identical arrivals (the RNG
     # streams are re-derived from the same seed, so traces match).
     farm_ad = _build_adaptive_farm(
         utilization, profile, n_servers, n_cores, duration_s, day_length_s,
-        seed, t_wakeup, t_sleep, server_config,
+        seed, t_wakeup, t_sleep, server_config, audit=audit,
     )
 
     dt_breakdown = [s.energy_breakdown_j(duration_s) for s in farm_dt.servers]

@@ -1,18 +1,23 @@
-"""Shared experiment plumbing: farm construction and run loops."""
+"""Shared experiment plumbing: farm construction, run loops, self-audits."""
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.config import ServerConfig
 from repro.core.engine import Engine
+from repro.core.invariants import AuditReport, audit_run
 from repro.core.rng import RandomSource
 from repro.scheduling.global_scheduler import GlobalScheduler
 from repro.scheduling.policies import DispatchPolicy
 from repro.server.server import Server
 from repro.workload.arrivals import ArrivalProcess
 from repro.workload.driver import WorkloadDriver
+
+#: Valid values for the ``audit`` parameter of :func:`drive` / :func:`audit_farm`.
+AUDIT_MODES = ("off", "warn", "strict")
 
 
 @dataclass
@@ -78,6 +83,37 @@ def build_farm(
     return Farm(engine=engine, servers=list(servers), scheduler=scheduler, rng=RandomSource(seed))
 
 
+def audit_farm(
+    farm: Farm,
+    driver: Optional[WorkloadDriver] = None,
+    audit: str = "warn",
+    availability=(),
+) -> Optional[AuditReport]:
+    """Run conservation audits over a farm after its simulation ended.
+
+    ``audit`` selects the reaction to violations: ``"off"`` skips the audit
+    entirely, ``"warn"`` prints the report to stderr and carries on, and
+    ``"strict"`` raises :class:`~repro.core.invariants.InvariantError` so a
+    sweep point fails instead of journaling a corrupt result.
+    """
+    if audit not in AUDIT_MODES:
+        raise ValueError(f"audit mode {audit!r} not in {AUDIT_MODES}")
+    if audit == "off":
+        return None
+    report = audit_run(
+        farm.engine,
+        servers=farm.servers,
+        scheduler=farm.scheduler,
+        driver=driver,
+        availability=availability,
+    )
+    if not report.ok:
+        if audit == "strict":
+            report.raise_if_violated()
+        print(f"[repro.invariants] {report.render()}", file=sys.stderr)
+    return report
+
+
 def drive(
     farm: Farm,
     arrival_process: ArrivalProcess,
@@ -85,12 +121,14 @@ def drive(
     duration_s: Optional[float] = None,
     max_jobs: Optional[int] = None,
     drain: bool = True,
+    audit: str = "warn",
 ) -> WorkloadDriver:
     """Attach a workload and run the simulation.
 
     With ``drain`` the engine keeps running after the arrival horizon until
     all in-flight jobs finish, so energy/latency accounting covers complete
-    jobs only.
+    jobs only.  Every run ends with a conservation audit (see
+    :func:`audit_farm`) unless ``audit="off"``.
     """
     driver = WorkloadDriver(
         farm.engine,
@@ -106,4 +144,5 @@ def drive(
         while farm.scheduler.active_jobs > 0:
             if not farm.engine.step():
                 break
+    audit_farm(farm, driver=driver, audit=audit)
     return driver

@@ -20,7 +20,7 @@ from repro.core.config import ServerConfig, onoff_cloud_server
 from repro.core.rng import RandomSource
 from repro.experiments.common import build_farm, drive
 from repro.power.controller import AlwaysOnController, DelayTimerController
-from repro.runner import SweepSpec, run_sweep
+from repro.runner import SweepOptions, SweepSpec, run_sweep
 from repro.scheduling.policies import PackingPolicy
 from repro.workload.arrivals import PoissonProcess, arrival_rate_for_utilization
 from repro.workload.profiles import WorkloadProfile
@@ -49,6 +49,7 @@ def run_delay_timer_point(
     duration_s: float = 30.0,
     seed: int = 1,
     server_config: Optional[ServerConfig] = None,
+    audit: str = "warn",
 ) -> DelayTimerPoint:
     """Simulate one τ setting and return farm energy and latency stats."""
     config = server_config or onoff_cloud_server(n_cores=n_cores)
@@ -66,7 +67,7 @@ def run_delay_timer_point(
     )
     arrivals = PoissonProcess(rate, rng.stream("arrivals"))
     factory = profile.job_factory(rng.stream("service"))
-    drive(farm, arrivals, factory, duration_s=duration_s, drain=False)
+    drive(farm, arrivals, factory, duration_s=duration_s, drain=False, audit=audit)
 
     scheduler = farm.scheduler
     sleeps = sum(
@@ -141,6 +142,8 @@ def run_delay_timer_sweep(
     seed: int = 1,
     server_config: Optional[ServerConfig] = None,
     jobs: int = 1,
+    sweep_options: Optional[SweepOptions] = None,
+    audit: str = "warn",
 ) -> DelayTimerSweep:
     """The full Fig. 5 sweep for one workload.
 
@@ -161,11 +164,12 @@ def run_delay_timer_sweep(
                 duration_s=duration_s,
                 seed=seed,
                 server_config=server_config,
+                audit=audit,
             )
-    points = run_sweep(spec, jobs=jobs)
+    points = run_sweep(spec, jobs=jobs, options=sweep_options)
     return DelayTimerSweep(
         workload=profile.name,
         tau_values=list(tau_values),
         utilizations=list(utilizations),
-        points=points,
+        points=[p for p in points if p is not None],
     )

@@ -24,7 +24,7 @@ from repro.core.rng import RandomSource
 from repro.experiments.common import build_farm, drive
 from repro.experiments.delay_timer import run_delay_timer_point
 from repro.power.dual_delay import DualDelayTimerPolicy
-from repro.runner import SweepSpec, run_sweep
+from repro.runner import SweepOptions, SweepSpec, run_sweep
 from repro.scheduling.policies import PackingPolicy
 from repro.workload.arrivals import PoissonProcess, arrival_rate_for_utilization
 from repro.workload.profiles import WorkloadProfile
@@ -86,6 +86,7 @@ def run_dual_timer_config(
     duration_s: float,
     seed: int,
     server_config: Optional[ServerConfig] = None,
+    audit: str = "warn",
 ) -> Tuple[float, float]:
     """Run one dual-timer configuration; returns (energy_j, p90_latency_s)."""
     cfg = server_config or onoff_cloud_server(n_cores=n_cores)
@@ -111,6 +112,7 @@ def run_dual_timer_config(
         profile.job_factory(rng.stream("service")),
         duration_s=duration_s,
         drain=False,
+        audit=audit,
     )
     latency = farm.scheduler.job_latency
     p90 = latency.percentile(90) if len(latency) else float("inf")
@@ -130,6 +132,8 @@ def run_dual_timer_point(
     latency_slack: float = 3.0,
     server_config: Optional[ServerConfig] = None,
     jobs: int = 1,
+    sweep_options: Optional[SweepOptions] = None,
+    audit: str = "warn",
 ) -> DualTimerResult:
     """One Fig. 6 bar: best dual configuration vs baseline and single timer.
 
@@ -148,12 +152,18 @@ def run_dual_timer_point(
     shared = dict(
         utilization=utilization, profile=profile, n_servers=n_servers,
         n_cores=n_cores, duration_s=duration_s, seed=seed,
-        server_config=server_config,
+        server_config=server_config, audit=audit,
     )
     single_spec = SweepSpec("dual-timer/singles")
     for tau in (None, *single_taus):
         single_spec.add(run_delay_timer_point, tau_s=tau, **shared)
-    base, *singles = run_sweep(single_spec, jobs=jobs)
+    base, *singles = run_sweep(single_spec, jobs=jobs, options=sweep_options)
+    if base is None:
+        raise RuntimeError(
+            "dual-timer comparison needs the Active-Idle baseline point, "
+            "which failed; rerun without keep_going or fix the failure"
+        )
+    singles = [p for p in singles if p is not None]
     qos_p90 = latency_slack * max(base.p90_latency_s, 1e-9)
     feasible = [p for p in singles if p.p90_latency_s <= qos_p90]
     best_single = min(feasible or singles, key=lambda p: p.energy_j)
@@ -170,7 +180,11 @@ def run_dual_timer_point(
             candidates.append(cand)
             dual_spec.add(run_dual_timer_config, config=cand, **shared)
     best_dual: Optional[Tuple[float, float, DualTimerConfig]] = None
-    for cand, (energy, p90) in zip(candidates, run_sweep(dual_spec, jobs=jobs)):
+    dual_results = run_sweep(dual_spec, jobs=jobs, options=sweep_options)
+    for cand, point in zip(candidates, dual_results):
+        if point is None:  # failed under keep_going; drop the candidate
+            continue
+        energy, p90 = point
         if math.isfinite(p90) and p90 > qos_p90:
             continue
         if best_dual is None or energy < best_dual[0]:

@@ -16,9 +16,9 @@ from typing import List, Optional, Sequence
 
 from repro.core.config import FaultConfig, ServerConfig, small_cloud_server
 from repro.core.rng import RandomSource
-from repro.experiments.common import build_farm, drive
+from repro.experiments.common import audit_farm, build_farm, drive
 from repro.faults.injector import FaultInjector
-from repro.runner import SweepSpec, run_sweep
+from repro.runner import SweepOptions, SweepSpec, run_sweep
 from repro.workload.arrivals import PoissonProcess, arrival_rate_for_utilization
 from repro.workload.profiles import WorkloadProfile, web_search_profile
 
@@ -48,6 +48,7 @@ def run_fault_resilience_point(
     seed: int = 1,
     profile: Optional[WorkloadProfile] = None,
     server_config: Optional[ServerConfig] = None,
+    audit: str = "warn",
 ) -> FaultResiliencePoint:
     """Run one seeded workload under the given fault process."""
     profile = profile or web_search_profile()
@@ -70,8 +71,12 @@ def run_fault_resilience_point(
     )
     arrivals = PoissonProcess(rate, rng.stream("arrivals"))
     factory = profile.job_factory(rng.stream("service"))
-    drive(farm, arrivals, factory, duration_s=duration_s, drain=True)
+    # Audit after injector.stop() so availability trackers are included.
+    driver = drive(farm, arrivals, factory, duration_s=duration_s, drain=True,
+                   audit="off")
     injector.stop()
+    audit_farm(farm, driver=driver, audit=audit,
+               availability=injector.trackers.values())
 
     now = farm.engine.now
     summary = injector.summary(now)
@@ -126,6 +131,8 @@ def run_fault_resilience_sweep(
     seed: int = 1,
     profile: Optional[WorkloadProfile] = None,
     jobs: int = 1,
+    sweep_options: Optional[SweepOptions] = None,
+    audit: str = "warn",
 ) -> FaultResilienceSweep:
     """Sweep server failure frequency and collect resilience outcomes.
 
@@ -150,6 +157,10 @@ def run_fault_resilience_sweep(
             duration_s=duration_s,
             seed=seed,
             profile=profile,
+            audit=audit,
         )
-    points = run_sweep(spec, jobs=jobs)
-    return FaultResilienceSweep(mtbf_values=list(mtbf_values), points=points)
+    points = run_sweep(spec, jobs=jobs, options=sweep_options)
+    return FaultResilienceSweep(
+        mtbf_values=list(mtbf_values),
+        points=[p for p in points if p is not None],
+    )

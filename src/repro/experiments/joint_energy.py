@@ -17,6 +17,7 @@ with negligible latency increase.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -24,6 +25,7 @@ import numpy as np
 
 from repro.core.config import LinkConfig, ServerConfig, xeon_e5_2680_server
 from repro.core.engine import Engine
+from repro.core.invariants import audit_run as audit_invariants
 from repro.core.rng import RandomSource
 from repro.core.stats import CdfResult
 from repro.jobs.task import Job
@@ -32,7 +34,7 @@ from repro.network.flow import FlowNetwork
 from repro.network.routing import Router
 from repro.network.topology import fat_tree
 from repro.power.joint import JointEnergyManager
-from repro.runner import SweepSpec, run_sweep
+from repro.runner import SweepOptions, SweepSpec, run_sweep
 from repro.scheduling.global_scheduler import GlobalScheduler
 from repro.server.server import Server
 from repro.workload.arrivals import PoissonProcess
@@ -105,6 +107,7 @@ def run_joint_point(
     switch_idle_threshold_s: float = 2.0,
     seed: int = 11,
     server_config: Optional[ServerConfig] = None,
+    audit: str = "warn",
 ) -> JointRunResult:
     """Run one strategy at one utilization on the fat-tree data center."""
     engine = Engine()
@@ -147,6 +150,16 @@ def run_joint_point(
         if not engine.step():
             break
     duration = engine.now
+
+    # This experiment bypasses drive(), so run the conservation audit here.
+    if audit != "off":
+        report = audit_invariants(
+            engine, servers=servers, scheduler=scheduler, driver=driver, now=duration
+        )
+        if not report.ok:
+            if audit == "strict":
+                report.raise_if_violated()
+            print(f"[repro.invariants] {report.render()}", file=sys.stderr)
 
     server_energy = sum(s.total_energy_j(duration) for s in servers)
     network_energy = topo.network_energy_j(duration)
@@ -219,6 +232,7 @@ def run_joint_comparison(
     n_jobs: int = 2000,
     seed: int = 11,
     jobs: int = 1,
+    sweep_options: Optional[SweepOptions] = None,
     **kwargs,
 ) -> JointComparison:
     """The full Fig. 11 experiment: both strategies at every utilization.
@@ -239,6 +253,8 @@ def run_joint_comparison(
                 run_joint_point, mode=mode, utilization=rho, k=k,
                 n_jobs=n_jobs, seed=seed, **kwargs,
             )
-    for (mode, rho), result in zip(cells, run_sweep(spec, jobs=jobs)):
-        results[mode][rho] = result
+    points = run_sweep(spec, jobs=jobs, options=sweep_options)
+    for (mode, rho), result in zip(cells, points):
+        if result is not None:
+            results[mode][rho] = result
     return JointComparison(results=results)

@@ -18,7 +18,7 @@ from repro.core.rng import RandomSource
 from repro.core.stats import TimeSeries, TimeSeriesSampler
 from repro.experiments.common import build_farm, drive
 from repro.power.provisioning import ProvisioningManager
-from repro.runner import SweepSpec, run_sweep
+from repro.runner import SweepOptions, SweepSpec, run_sweep
 from repro.scheduling.policies import LeastLoadedPolicy
 from repro.workload.arrivals import TraceProcess
 from repro.workload.profiles import SingleTaskJobFactory, UniformService
@@ -71,6 +71,7 @@ def run_provisioning(
     seed: int = 7,
     trace: Optional[ArrivalTrace] = None,
     server_config: Optional[ServerConfig] = None,
+    audit: str = "warn",
 ) -> ProvisioningResult:
     """Run the Fig. 4 experiment and return the sampled series.
 
@@ -109,7 +110,8 @@ def run_provisioning(
     factory = SingleTaskJobFactory(
         UniformService(0.003, 0.010), rng.stream("service"), job_type="wiki-task"
     )
-    drive(farm, TraceProcess(trace.timestamps), factory, duration_s=duration_s, drain=False)
+    drive(farm, TraceProcess(trace.timestamps), factory, duration_s=duration_s,
+          drain=False, audit=audit)
 
     latency = farm.scheduler.job_latency
     return ProvisioningResult(
@@ -155,6 +157,7 @@ class ThresholdSweep:
 def run_provisioning_sweep(
     threshold_pairs: Sequence[Tuple[float, float]],
     jobs: int = 1,
+    sweep_options: Optional[SweepOptions] = None,
     **kwargs,
 ) -> ThresholdSweep:
     """Sweep the provisioning thresholds; points run in parallel with
@@ -167,7 +170,9 @@ def run_provisioning_sweep(
             max_load_per_server=hi,
             **kwargs,
         )
+    points = run_sweep(spec, jobs=jobs, options=sweep_options)
+    kept = [(pair, p) for pair, p in zip(threshold_pairs, points) if p is not None]
     return ThresholdSweep(
-        threshold_pairs=[(lo, hi) for lo, hi in threshold_pairs],
-        points=run_sweep(spec, jobs=jobs),
+        threshold_pairs=[(lo, hi) for (lo, hi), _ in kept],
+        points=[p for _, p in kept],
     )

@@ -16,7 +16,7 @@ from typing import List, Optional, Sequence
 from repro.core.config import ServerConfig, small_cloud_server
 from repro.core.rng import RandomSource
 from repro.experiments.common import build_farm, drive
-from repro.runner import SweepSpec, run_sweep
+from repro.runner import SweepOptions, SweepSpec, run_sweep
 from repro.scheduling.policies import RoundRobinPolicy
 from repro.workload.arrivals import PoissonProcess, arrival_rate_for_utilization
 from repro.workload.profiles import ExponentialService, SingleTaskJobFactory
@@ -55,6 +55,7 @@ def run_scalability(
     mean_service_s: float = 0.005,
     seed: int = 13,
     server_config: Optional[ServerConfig] = None,
+    audit: str = "warn",
 ) -> ScalabilityResult:
     """Simulate a >20K-server farm and measure simulator throughput."""
     config = server_config or small_cloud_server(n_cores=4)
@@ -73,6 +74,7 @@ def run_scalability(
         factory,
         max_jobs=n_jobs,
         drain=True,
+        audit=audit,
     )
     wall = time.perf_counter() - start
     return ScalabilityResult(
@@ -104,6 +106,8 @@ def run_scalability_sweep(
     mean_service_s: float = 0.005,
     seed: int = 13,
     jobs: int = 1,
+    sweep_options: Optional[SweepOptions] = None,
+    audit: str = "warn",
 ) -> ScalabilitySweep:
     """Run the scalability point at several farm sizes.
 
@@ -120,5 +124,7 @@ def run_scalability_sweep(
             utilization=utilization,
             mean_service_s=mean_service_s,
             seed=seed,
+            audit=audit,
         )
-    return ScalabilitySweep(points=run_sweep(spec, jobs=jobs))
+    points = run_sweep(spec, jobs=jobs, options=sweep_options)
+    return ScalabilitySweep(points=[p for p in points if p is not None])

@@ -61,6 +61,7 @@ def run_server_validation(
     sample_interval_s: float = 1.0,
     seed: int = 5,
     server_config: Optional[ServerConfig] = None,
+    audit: str = "warn",
 ) -> ServerValidationResult:
     """Replay an NLANR-like trace through HolDCSim and the reference model."""
     config = server_config or validation_cpu_profile()
@@ -97,7 +98,7 @@ def run_server_validation(
         return single_task_job(next(service_iter), arrival_time=arrival_time)
 
     drive(farm, TraceProcess(trace.timestamps), factory,
-          duration_s=duration_s, drain=False)
+          duration_s=duration_s, drain=False, audit=audit)
 
     # --- "physical machine" side: independent analytic model --------------
     physical = PhysicalServerModel(config, rng.stream("physical"))

@@ -124,6 +124,7 @@ def run_switch_validation(
     sample_interval_s: float = 1.0,
     seed: int = 9,
     switch_config: Optional[SwitchConfig] = None,
+    audit: str = "warn",
 ) -> SwitchValidationResult:
     """Replay a Wikipedia-like web service on the star cluster (Fig. 13)."""
     cfg = switch_config or cisco_2960_switch()
@@ -162,7 +163,7 @@ def run_switch_validation(
         ExponentialService(mean_service_s), rng.stream("service"), job_type="wiki"
     )
     drive(farm, TraceProcess(trace.timestamps), factory,
-          duration_s=duration_s, drain=False)
+          duration_s=duration_s, drain=False, audit=audit)
 
     # Reference ("physical") switch driven by the simulated port-state log,
     # with a consistent small bias in one segment as observed in Fig. 14b.

@@ -1,4 +1,4 @@
-"""Parallel sweep execution and performance benchmarking.
+"""Resilient parallel sweep execution and performance benchmarking.
 
 Every case study in the paper (Figs. 4-11, Table I) is a *sweep*: the same
 seeded simulation repeated over a grid of parameter points.  Points are
@@ -8,22 +8,45 @@ This package provides:
 
 * :class:`~repro.runner.sweep.SweepSpec` / :class:`~repro.runner.sweep.SweepPoint`
   — a declarative, picklable description of a sweep;
-* :func:`~repro.runner.sweep.run_sweep` — execute a spec sequentially or on a
-  spawn-safe ``multiprocessing`` pool, with bit-identical results either way;
+* :func:`~repro.runner.sweep.run_sweep` /
+  :func:`~repro.runner.sweep.run_sweep_detailed` — execute a spec
+  sequentially or on a supervised spawn-safe worker pool, with bit-identical
+  results either way.  :class:`~repro.runner.sweep.SweepOptions` adds the
+  resilience layer: per-point timeouts, retry with deterministic backoff,
+  worker-crash recovery, and checkpoint/resume through a
+  :class:`~repro.runner.journal.SweepJournal`;
 * :mod:`repro.runner.bench` — the ``repro bench`` microbenchmark harness that
   tracks the simulator's performance trajectory in ``BENCH_core.json``.
 """
 
+from repro.runner.journal import SweepJournal, point_fingerprint, stable_repr
 from repro.runner.sweep import (
+    PointOutcome,
+    SweepError,
+    SweepInterrupted,
+    SweepOptions,
     SweepPoint,
+    SweepResult,
     SweepSpec,
+    derive_label,
     derive_point_seed,
     run_sweep,
+    run_sweep_detailed,
 )
 
 __all__ = [
+    "PointOutcome",
+    "SweepError",
+    "SweepInterrupted",
+    "SweepJournal",
+    "SweepOptions",
     "SweepPoint",
+    "SweepResult",
     "SweepSpec",
+    "derive_label",
     "derive_point_seed",
+    "point_fingerprint",
     "run_sweep",
+    "run_sweep_detailed",
+    "stable_repr",
 ]

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import signal
+
 import pytest
 
 from repro.core.config import (
@@ -12,6 +14,36 @@ from repro.core.config import (
 )
 from repro.core.engine import Engine
 from repro.core.rng import RandomSource
+
+
+@pytest.fixture(autouse=True)
+def _hard_test_timeout(request):
+    """Abort tests marked ``@pytest.mark.timeout(N)`` after N wall seconds.
+
+    The subprocess-pool tests (worker crash recovery, watchdog kills) hang
+    rather than fail when supervision logic regresses; a SIGALRM tripwire
+    turns that hang into a test failure.  Implemented here because the
+    environment has no pytest-timeout plugin; SIGALRM only fires in the main
+    thread, which is where pytest runs tests.
+    """
+    marker = request.node.get_closest_marker("timeout")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    seconds = float(marker.args[0]) if marker.args else 60.0
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded its {seconds:g}s timeout (pool supervision hang?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

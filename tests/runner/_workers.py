@@ -1,0 +1,73 @@
+"""Module-level worker functions for resilient-sweep tests.
+
+Spawn-based workers pickle callables by qualified name, so everything a
+sweep executes must live in an importable module — test functions defined
+inside test files or closures will not do.  The misbehaving workers take a
+``scratch_dir`` so cross-process state (how many times have I run?) lives in
+files rather than memory.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+
+def double(x: int, seed: int = 0) -> int:
+    return 2 * x
+
+
+def add(a, b):
+    return a + b
+
+
+def always_raises(x: int) -> None:
+    raise ValueError(f"point {x} is broken")
+
+
+def raises_then_succeeds(x: int, scratch_dir: str, fail_times: int = 1) -> int:
+    """Raise on the first ``fail_times`` calls, then return ``x``."""
+    marker = os.path.join(scratch_dir, f"raise-{x}.count")
+    count = int(open(marker).read()) if os.path.exists(marker) else 0
+    with open(marker, "w") as fh:
+        fh.write(str(count + 1))
+    if count < fail_times:
+        raise RuntimeError(f"transient failure #{count + 1} for point {x}")
+    return x
+
+
+def sleeps_then_succeeds(x: int, scratch_dir: str, sleep_s: float = 30.0) -> int:
+    """Hang (past any reasonable watchdog) on the first call, then return."""
+    marker = os.path.join(scratch_dir, f"sleep-{x}.marker")
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("attempted")
+        time.sleep(sleep_s)
+    return x
+
+
+def sleeps_forever(x: int, sleep_s: float = 60.0) -> int:
+    time.sleep(sleep_s)
+    return x
+
+
+def sigkill_self_once(x: int, scratch_dir: str) -> int:
+    """SIGKILL the worker process on the first call, then return ``x``.
+
+    Models a worker dying mid-point (OOM kill, segfault): the pool breaks
+    with no exception from the task itself.
+    """
+    marker = os.path.join(scratch_dir, f"kill-{x}.marker")
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("attempted")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x
+
+
+def record_execution(x: int, scratch_dir: str) -> int:
+    """Return ``x`` and leave a breadcrumb proving the point really ran."""
+    with open(os.path.join(scratch_dir, f"ran-{x}.marker"), "w") as fh:
+        fh.write("ran")
+    return x

@@ -1,0 +1,336 @@
+"""Failure-matrix tests for the resilient sweep supervisor.
+
+Covers the contract of :class:`SweepOptions`: retries with deterministic
+backoff, per-point timeout watchdog, worker-crash (SIGKILL) recovery,
+journal checkpointing, and resume-from-journal bit-identity with an
+uninterrupted run.  Worker functions live in ``tests/runner/_workers.py``
+because spawn-based pools pickle callables by qualified name.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.runner import (
+    SweepError,
+    SweepOptions,
+    SweepSpec,
+    derive_label,
+    point_fingerprint,
+    run_sweep,
+    run_sweep_detailed,
+)
+from repro.runner.journal import SweepJournal, stable_repr
+from repro.runner.sweep import _backoff_s
+from tests.runner import _workers as w
+
+
+# ----------------------------------------------------------------------
+# Labels (SweepSpec.from_grid used to drop them entirely)
+# ----------------------------------------------------------------------
+class TestDerivedLabels:
+    def test_add_derives_label_from_kwargs(self):
+        spec = SweepSpec("s")
+        point = spec.add(w.double, x=3, seed=7)
+        assert point.label == "x=3,seed=7"
+
+    def test_add_keeps_explicit_label(self):
+        spec = SweepSpec("s")
+        assert spec.add(w.double, label="mine", x=3).label == "mine"
+
+    def test_from_grid_labels_points(self):
+        spec = SweepSpec.from_grid("g", w.double, [{"x": 1}, {"x": 2}])
+        assert [p.label for p in spec.points] == ["x=1", "x=2"]
+
+    def test_from_grid_label_excludes_derived_seed(self):
+        spec = SweepSpec.from_grid("g", w.double, [{"x": 1}], base_seed=5)
+        assert spec.points[0].label == "x=1"
+        assert "seed" in spec.points[0].kwargs
+
+    def test_from_grid_label_keeps_pinned_seed(self):
+        spec = SweepSpec.from_grid(
+            "g", w.double, [{"x": 1, "seed": 9}], base_seed=5
+        )
+        assert spec.points[0].label == "x=1,seed=9"
+
+    def test_from_grid_label_fn_override(self):
+        spec = SweepSpec.from_grid(
+            "g", w.double, [{"x": 1}], label_fn=lambda kw: f"point-{kw['x']}"
+        )
+        assert spec.points[0].label == "point-1"
+
+    def test_derive_label_truncates(self):
+        label = derive_label({"key": "v" * 200})
+        assert len(label) <= 80 and label.endswith("...")
+
+
+# ----------------------------------------------------------------------
+# Deterministic backoff
+# ----------------------------------------------------------------------
+class TestBackoff:
+    def test_backoff_is_deterministic(self):
+        opts = SweepOptions(retries=3, retry_backoff_s=1.0)
+        assert _backoff_s(opts, "fp", 1) == _backoff_s(opts, "fp", 1)
+
+    def test_backoff_grows_and_caps(self):
+        opts = SweepOptions(
+            retries=10, retry_backoff_s=1.0, retry_backoff_factor=2.0,
+            max_backoff_s=4.0,
+        )
+        values = [_backoff_s(opts, "fp", attempt) for attempt in (1, 2, 3, 9)]
+        # jitter is in [0.5, 1.5) x base; base is 1, 2, 4, then capped at 4
+        assert 0.5 <= values[0] < 1.5
+        assert 1.0 <= values[1] < 3.0
+        assert 2.0 <= values[2] < 6.0
+        assert 2.0 <= values[3] < 6.0  # capped base; jitter still per-attempt
+
+    def test_zero_base_disables_backoff(self):
+        opts = SweepOptions(retries=3, retry_backoff_s=0.0)
+        assert _backoff_s(opts, "fp", 1) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Inline supervised execution (jobs=1 + options)
+# ----------------------------------------------------------------------
+class TestInlineResilience:
+    def test_retry_then_succeed(self, tmp_path):
+        spec = SweepSpec("s")
+        spec.add(w.raises_then_succeeds, x=5, scratch_dir=str(tmp_path),
+                 fail_times=2)
+        opts = SweepOptions(retries=2, retry_backoff_s=0.0)
+        result = run_sweep_detailed(spec, options=opts)
+        assert result.ok
+        assert result.outcomes[0].attempts == 3
+        assert result.values() == [5]
+
+    def test_failure_without_keep_going_raises_sweep_error(self):
+        spec = SweepSpec("s")
+        spec.add(w.double, x=1)
+        spec.add(w.always_raises, x=2)
+        spec.add(w.double, x=3)
+        with pytest.raises(SweepError) as excinfo:
+            run_sweep(spec, options=SweepOptions())
+        result = excinfo.value.result
+        assert [o.status for o in result.outcomes] == ["ok", "failed", "skipped"]
+        assert "point 2 is broken" in str(excinfo.value)
+
+    def test_keep_going_yields_none_holes(self):
+        spec = SweepSpec("s")
+        spec.add(w.double, x=1)
+        spec.add(w.always_raises, x=2)
+        spec.add(w.double, x=3)
+        values = run_sweep(spec, options=SweepOptions(keep_going=True))
+        assert values == [2, None, 6]
+
+    def test_retries_exhausted_reports_attempts(self, tmp_path):
+        spec = SweepSpec("s")
+        spec.add(w.raises_then_succeeds, x=1, scratch_dir=str(tmp_path),
+                 fail_times=5)
+        opts = SweepOptions(retries=1, retry_backoff_s=0.0, keep_going=True)
+        result = run_sweep_detailed(spec, options=opts)
+        outcome = result.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.attempts == 2
+        assert "transient failure" in outcome.error
+
+    def test_legacy_path_propagates_raw_exception(self):
+        spec = SweepSpec("s")
+        spec.add(w.always_raises, x=1)
+        with pytest.raises(ValueError):  # not SweepError: options is None
+            run_sweep(spec)
+
+
+# ----------------------------------------------------------------------
+# Journal + resume
+# ----------------------------------------------------------------------
+class TestJournalResume:
+    def _spec(self, scratch_dir):
+        spec = SweepSpec("resumable")
+        for x in range(4):
+            spec.add(w.record_execution, x=x, scratch_dir=str(scratch_dir))
+        return spec
+
+    def test_journal_records_every_point(self, tmp_path):
+        journal_path = str(tmp_path / "sweep.jsonl")
+        opts = SweepOptions(journal_path=journal_path)
+        run_sweep(self._spec(tmp_path), options=opts)
+        cache = SweepJournal(journal_path).load()
+        assert len(cache) == 4
+        assert all(es[0]["status"] == "ok" for es in cache.values())
+
+    @staticmethod
+    def _clear_markers(scratch_dir):
+        for marker in scratch_dir.glob("ran-*.marker"):
+            marker.unlink()
+
+    def test_resume_is_bit_identical_and_skips_execution(self, tmp_path):
+        """Resume must replay identical kwargs from the journal, not re-run.
+
+        The fingerprint covers the kwargs, so the resumed spec is built with
+        the *same* scratch_dir; execution breadcrumbs are cleared between
+        runs to prove the cached pass never invoked the workers.
+        """
+        journal_path = str(tmp_path / "sweep.jsonl")
+        baseline = run_sweep(self._spec(tmp_path), jobs=1)
+
+        self._clear_markers(tmp_path)
+        first = run_sweep(
+            self._spec(tmp_path),
+            options=SweepOptions(journal_path=journal_path),
+        )
+        assert repr(first) == repr(baseline)
+        assert len(list(tmp_path.glob("ran-*.marker"))) == 4
+
+        self._clear_markers(tmp_path)
+        result = run_sweep_detailed(
+            self._spec(tmp_path),
+            options=SweepOptions(journal_path=journal_path, resume=True),
+        )
+        assert repr(result.values()) == repr(baseline)
+        assert all(o.cached for o in result.outcomes)
+        # No point actually re-ran: no fresh breadcrumbs.
+        assert not list(tmp_path.glob("ran-*.marker"))
+
+    def test_resume_after_partial_run_completes_the_rest(self, tmp_path):
+        """The interrupted-sweep scenario: half the points journaled, the
+        resumed run executes only the other half, and the combined values
+        match an uninterrupted jobs=1 run exactly."""
+        journal_path = str(tmp_path / "sweep.jsonl")
+        baseline = run_sweep(self._spec(tmp_path), jobs=1)
+        self._clear_markers(tmp_path)
+
+        # Simulate a run killed after two points: journal only those.
+        partial = SweepSpec("resumable")
+        for x in range(2):
+            partial.add(w.record_execution, x=x, scratch_dir=str(tmp_path))
+        run_sweep(partial, options=SweepOptions(journal_path=journal_path))
+        self._clear_markers(tmp_path)
+
+        result = run_sweep_detailed(
+            self._spec(tmp_path),
+            options=SweepOptions(journal_path=journal_path, resume=True),
+        )
+        assert repr(result.values()) == repr(baseline)
+        assert [o.cached for o in result.outcomes] == [True, True, False, False]
+        ran = sorted(p.name for p in tmp_path.glob("ran-*.marker"))
+        assert ran == ["ran-2.marker", "ran-3.marker"]
+
+    def test_changed_kwargs_invalidate_cache_entry(self, tmp_path):
+        journal_path = str(tmp_path / "sweep.jsonl")
+        spec = SweepSpec("s")
+        spec.add(w.double, x=1)
+        run_sweep(spec, options=SweepOptions(journal_path=journal_path))
+
+        changed = SweepSpec("s")
+        changed.add(w.double, x=2)  # different kwargs -> different fingerprint
+        result = run_sweep_detailed(
+            changed, options=SweepOptions(journal_path=journal_path, resume=True)
+        )
+        assert result.values() == [4]
+        assert not result.outcomes[0].cached
+
+    def test_torn_journal_line_is_tolerated(self, tmp_path):
+        journal_path = str(tmp_path / "sweep.jsonl")
+        spec = SweepSpec("s")
+        spec.add(w.double, x=1)
+        run_sweep(spec, options=SweepOptions(journal_path=journal_path))
+        with open(journal_path, "a", encoding="utf-8") as fh:
+            fh.write('{"fingerprint": "abc", "status": "o')  # torn write
+        cache = SweepJournal(journal_path).load()
+        assert len(cache) == 1  # the torn line is skipped, not fatal
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(ValueError):
+            SweepOptions(resume=True)
+
+
+class TestFingerprint:
+    def test_stable_across_dict_order(self):
+        a = point_fingerprint("s", w.double, {"x": 1, "seed": 2})
+        b = point_fingerprint("s", w.double, {"seed": 2, "x": 1})
+        assert a == b
+
+    def test_sensitive_to_name_fn_and_kwargs(self):
+        base = point_fingerprint("s", w.double, {"x": 1})
+        assert point_fingerprint("t", w.double, {"x": 1}) != base
+        assert point_fingerprint("s", w.add, {"x": 1}) != base
+        assert point_fingerprint("s", w.double, {"x": 2}) != base
+
+    def test_stable_repr_is_address_free(self):
+        class Opaque:
+            pass
+
+        rendered = stable_repr({"obj": Opaque(), "xs": [1.0, -0.0]})
+        assert "0x" not in rendered
+        assert stable_repr(-0.0) == stable_repr(0.0)
+
+
+# ----------------------------------------------------------------------
+# Worker pool: crash recovery and the timeout watchdog
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+@pytest.mark.timeout(120)
+class TestPoolResilience:
+    def test_parallel_matches_inline(self):
+        spec = SweepSpec("s")
+        for x in range(6):
+            spec.add(w.double, x=x)
+        opts = SweepOptions(retries=1, retry_backoff_s=0.0)
+        assert run_sweep(spec, jobs=3, options=opts) == run_sweep(spec, jobs=1)
+
+    def test_sigkilled_worker_recovers_without_losing_results(self, tmp_path):
+        """One point SIGKILLs its worker; the pool is respawned, the victim
+        and any in-flight innocents are requeued, and every point completes
+        without retries being configured (a crash earns a grace attempt)."""
+        spec = SweepSpec("kill")
+        spec.add(w.sigkill_self_once, x=0, scratch_dir=str(tmp_path))
+        for x in range(1, 4):
+            spec.add(w.record_execution, x=x, scratch_dir=str(tmp_path))
+        values = run_sweep(spec, jobs=2, options=SweepOptions())
+        assert values == [0, 1, 2, 3]
+
+    def test_every_point_crashing_once_still_completes_with_retries(self, tmp_path):
+        """All points crash their worker on first execution; with a retry
+        budget the sweep still converges to full results."""
+        spec = SweepSpec("kill-all")
+        for x in range(4):
+            spec.add(w.sigkill_self_once, x=x, scratch_dir=str(tmp_path))
+        opts = SweepOptions(retries=1, retry_backoff_s=0.0)
+        assert run_sweep(spec, jobs=2, options=opts) == [0, 1, 2, 3]
+
+    def test_timeout_kills_and_retries(self, tmp_path):
+        """A point sleeping far past the watchdog is killed and succeeds on
+        its second attempt (the sleep marker makes attempt 2 return fast)."""
+        spec = SweepSpec("hang")
+        spec.add(w.sleeps_then_succeeds, x=7, scratch_dir=str(tmp_path),
+                 sleep_s=60.0)
+        opts = SweepOptions(point_timeout_s=1.0, retries=1, retry_backoff_s=0.0)
+        result = run_sweep_detailed(spec, jobs=1, options=opts)
+        outcome = result.outcomes[0]
+        assert outcome.status == "ok"
+        assert outcome.attempts == 2
+        assert result.values() == [7]
+
+    def test_timeout_without_retries_fails_point(self):
+        spec = SweepSpec("hang")
+        spec.add(w.sleeps_forever, x=1, sleep_s=60.0)
+        opts = SweepOptions(point_timeout_s=1.0, keep_going=True)
+        result = run_sweep_detailed(spec, jobs=1, options=opts)
+        assert result.outcomes[0].status == "timeout"
+        assert "point timeout" in result.outcomes[0].error
+
+    def test_timeout_spares_innocent_poolmates(self, tmp_path):
+        """Killing the pool for one overrunner must not fail the points that
+        happened to be in flight beside it."""
+        spec = SweepSpec("mixed")
+        spec.add(w.sleeps_forever, x=0, sleep_s=60.0)
+        for x in range(1, 4):
+            spec.add(w.record_execution, x=x, scratch_dir=str(tmp_path))
+        opts = SweepOptions(point_timeout_s=2.0, keep_going=True)
+        result = run_sweep_detailed(spec, jobs=4, options=opts)
+        statuses = [o.status for o in result.outcomes]
+        assert statuses[0] == "timeout"
+        assert statuses[1:] == ["ok", "ok", "ok"]
+        assert result.values()[1:] == [1, 2, 3]
