@@ -21,6 +21,12 @@ that run a single simulation accept and ignore it).  ``repro bench`` runs
 the core and network-data-plane microbenchmarks and records the performance
 trajectory in ``BENCH_core.json``.
 
+Every subcommand also accepts the observability flags: ``--trace out.json``
+exports a Chrome/Perfetto trace of the run, ``--metrics out.json`` (or
+``.csv``) snapshots the unified metrics registry, ``--profile`` prints the
+event-loop hot-handler table, and ``--trace-dir DIR`` keeps post-mortem
+trace streams for sweep points that fail or time out.
+
 Use ``--help`` on any subcommand for its knobs.
 """
 
@@ -76,7 +82,10 @@ def _sweep_options(args: argparse.Namespace) -> Optional[SweepOptions]:
     """
     if args.resume and not args.journal:
         raise SystemExit("--resume requires --journal PATH")
-    if not (args.point_timeout or args.retries or args.keep_going or args.journal):
+    if not (
+        args.point_timeout or args.retries or args.keep_going or args.journal
+        or args.trace_dir
+    ):
         return None
     return SweepOptions(
         point_timeout_s=args.point_timeout,
@@ -84,7 +93,68 @@ def _sweep_options(args: argparse.Namespace) -> Optional[SweepOptions]:
         keep_going=args.keep_going,
         journal_path=args.journal,
         resume=args.resume,
+        trace_dir=args.trace_dir,
     )
+
+
+def _make_telemetry_session(args: argparse.Namespace):
+    """Build the session the telemetry flags ask for; None when untouched."""
+    if not (args.trace or args.metrics or args.profile):
+        return None
+    from repro.telemetry import TelemetrySession
+
+    return TelemetrySession(
+        trace=bool(args.trace),
+        categories=tuple(args.trace_categories) if args.trace_categories else None,
+        metrics=bool(args.metrics),
+        profile=bool(args.profile),
+    )
+
+
+def _export_telemetry(args: argparse.Namespace, sess) -> None:
+    """Write the trace/metrics files and print the profile table.
+
+    Sweep commands hand back per-point payloads (``sess.point_captures``, in
+    point order); single-run commands recorded into the session directly.
+    """
+    from repro.telemetry import chrome_trace, chrome_trace_points, write_chrome_trace
+    from repro.telemetry.metrics import write_metrics
+    from repro.telemetry.profiler import DispatchProfiler
+
+    points = sess.point_captures
+    if args.trace:
+        if points:
+            doc = chrome_trace_points(
+                [(label, payload.get("events", ())) for label, payload in points]
+            )
+            n_events = sum(len(p.get("events", ())) for _, p in points)
+        else:
+            doc = chrome_trace(sess.recorder.events, label=args.command)
+            n_events = len(sess.recorder.events)
+        write_chrome_trace(args.trace, doc)
+        print(
+            f"[repro.telemetry] {n_events} trace events -> {args.trace} "
+            f"(open in ui.perfetto.dev)",
+            file=sys.stderr,
+        )
+    if args.metrics:
+        if points and any("metrics" in p for _, p in points):
+            doc = {
+                "points": [
+                    {"label": label, **payload.get("metrics", {})}
+                    for label, payload in points
+                ]
+            }
+        else:
+            doc = sess.metrics.snapshot()
+        write_metrics(args.metrics, doc)
+        print(f"[repro.telemetry] metrics -> {args.metrics}", file=sys.stderr)
+    if args.profile:
+        merged = DispatchProfiler.from_summaries(
+            [payload.get("profile") for _, payload in points]
+            + [sess.profiler.summary()]
+        )
+        print(merged.top_table())
 
 
 def _audit_mode(args: argparse.Namespace) -> str:
@@ -106,8 +176,8 @@ def _parse_threshold_pairs(specs: List[str]) -> List[tuple]:
 
 def _cmd_provisioning(args: argparse.Namespace) -> None:
     trace = None
-    if args.trace is not None:
-        trace = ArrivalTrace.from_file(args.trace).clipped(args.duration)
+    if args.arrival_trace is not None:
+        trace = ArrivalTrace.from_file(args.arrival_trace).clipped(args.duration)
     shared = dict(
         n_servers=args.servers,
         duration_s=args.duration,
@@ -308,6 +378,37 @@ def build_parser() -> argparse.ArgumentParser:
             help="fail a point when its end-of-run conservation audit finds "
                  "violations (default: warn on stderr)",
         )
+        observability = p.add_argument_group(
+            "observability",
+            "structured tracing, unified metrics, event-loop profiling "
+            "(zero overhead when unused)",
+        )
+        observability.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="export a Chrome trace-event JSON of the run "
+                 "(open in ui.perfetto.dev); sweeps merge every point into "
+                 "one view, bit-identical across --jobs counts",
+        )
+        observability.add_argument(
+            "--trace-categories", nargs="+", metavar="CAT", default=None,
+            choices=["task", "power", "net", "sched", "fault", "job"],
+            help="restrict tracing to these event categories (default: all)",
+        )
+        observability.add_argument(
+            "--metrics", default=None, metavar="PATH",
+            help="write a unified metrics snapshot (counters/gauges/"
+                 "histograms/series) as JSON, or CSV when PATH ends in .csv",
+        )
+        observability.add_argument(
+            "--profile", action="store_true",
+            help="profile the event loop and print the hot-handler table",
+        )
+        observability.add_argument(
+            "--trace-dir", default=None, metavar="DIR",
+            help="stream per-sweep-point post-mortem traces into DIR; the "
+                 "trace of a failed/timed-out/killed point survives for "
+                 "inspection, successful points' files are removed",
+        )
 
     p = sub.add_parser("provisioning", help="Fig. 4: threshold provisioning")
     p.add_argument("--servers", type=int, default=50)
@@ -316,7 +417,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--day-length", type=float, default=60.0)
     p.add_argument("--min-load", type=float, default=0.5)
     p.add_argument("--max-load", type=float, default=1.0)
-    p.add_argument("--trace", default=None,
+    p.add_argument("--arrival-trace", default=None,
                    help="replay an arrival trace file instead of synthesizing")
     p.add_argument("--sweep-thresholds", nargs="+", metavar="MIN:MAX",
                    help="sweep (min,max) load threshold pairs instead of a "
@@ -424,8 +525,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> None:
     args = build_parser().parse_args(argv)
+    sess = _make_telemetry_session(args)
     try:
-        args.fn(args)
+        if sess is None:
+            args.fn(args)
+        else:
+            from repro.telemetry import session as telemetry
+
+            prev = telemetry.activate(sess)
+            try:
+                args.fn(args)
+            finally:
+                telemetry.deactivate(prev)
+                sess.close()
+            _export_telemetry(args, sess)
     except SweepInterrupted as exc:
         print(
             f"\ninterrupted: {exc.completed}/{exc.total} sweep points completed",

@@ -13,6 +13,7 @@ from repro.core.rng import RandomSource
 from repro.scheduling.global_scheduler import GlobalScheduler
 from repro.scheduling.policies import DispatchPolicy
 from repro.server.server import Server
+from repro.telemetry import session as telemetry
 from repro.workload.arrivals import ArrivalProcess
 from repro.workload.driver import WorkloadDriver
 
@@ -80,7 +81,73 @@ def build_farm(
         use_global_queue=use_global_queue,
         eligible_provider=eligible_provider,
     )
+    ts = telemetry.ACTIVE
+    if ts is not None:
+        ts.attach_engine(engine)
     return Farm(engine=engine, servers=list(servers), scheduler=scheduler, rng=RandomSource(seed))
+
+
+def register_farm_metrics(
+    registry,
+    farm: Farm,
+    driver: Optional[WorkloadDriver] = None,
+    network=None,
+    injector=None,
+    prefix: str = "",
+) -> None:
+    """Register a farm's scattered ad-hoc stats into one metrics registry.
+
+    Sources are read lazily at snapshot time, so call this whenever — before,
+    during, or after the run.  ``network``/``injector`` are optional extras
+    for experiments that wire those subsystems in; ``prefix`` namespaces the
+    metrics when one session runs several farms.
+    """
+    engine, sched = farm.engine, farm.scheduler
+    registry.register_counter(
+        f"{prefix}engine.events_executed", lambda: engine.events_executed
+    )
+    registry.register_gauge(f"{prefix}engine.sim_time_s", lambda: engine.now)
+    for name in (
+        "jobs_submitted", "jobs_completed", "jobs_failed",
+        "tasks_lost", "tasks_retried", "tasks_abandoned", "slo_violations",
+    ):
+        registry.register_counter(
+            f"{prefix}scheduler.{name}", (lambda s=sched, n=name: getattr(s, n))
+        )
+    registry.register_gauge(f"{prefix}scheduler.active_jobs", lambda: sched.active_jobs)
+    registry.register_histogram(f"{prefix}scheduler.job_latency", sched.job_latency)
+    registry.register_histogram(
+        f"{prefix}scheduler.task_queue_delay", sched.task_queue_delay
+    )
+    registry.register_histogram(
+        f"{prefix}scheduler.transfer_delay", sched.transfer_delay
+    )
+    registry.register_gauge(f"{prefix}farm.total_energy_j", lambda: farm.total_energy_j())
+    for component in ("cpu", "dram", "platform"):
+        registry.register_gauge(
+            f"{prefix}farm.energy_j.{component}",
+            (lambda c=component: farm.energy_breakdown_j()[c]),
+        )
+    if driver is not None:
+        registry.register_counter(
+            f"{prefix}workload.jobs_injected", lambda: driver.jobs_injected
+        )
+    if network is not None:
+        for name in (
+            "flows_completed", "flows_rerouted", "flows_stranded", "bits_delivered",
+            "packets_delivered", "packets_dropped", "transfers_stranded",
+            "trains_engaged", "trains_express", "trains_materialized",
+        ):
+            if hasattr(network, name):
+                registry.register_counter(
+                    f"{prefix}network.{name}", (lambda n=network, a=name: getattr(n, a))
+                )
+        for name in ("flow_completion_time", "packet_delay"):
+            collector = getattr(network, name, None)
+            if collector is not None:
+                registry.register_histogram(f"{prefix}network.{name}", collector)
+    if injector is not None:
+        injector.register_metrics(registry, prefix=f"{prefix}faults")
 
 
 def audit_farm(
@@ -144,5 +211,15 @@ def drive(
         while farm.scheduler.active_jobs > 0:
             if not farm.engine.step():
                 break
+    ts = telemetry.ACTIVE
+    if ts is not None and ts.metrics is not None:
+        # One session may drive several farms (e.g. the joint comparison);
+        # later farms get a numbered prefix instead of colliding on names.
+        n_farms = getattr(ts.metrics, "_farms_registered", 0)
+        register_farm_metrics(
+            ts.metrics, farm, driver=driver, network=farm.scheduler.network,
+            prefix="" if n_farms == 0 else f"farm{n_farms}.",
+        )
+        ts.metrics._farms_registered = n_farms + 1
     audit_farm(farm, driver=driver, audit=audit)
     return driver

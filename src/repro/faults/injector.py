@@ -25,6 +25,7 @@ from repro.core.engine import Engine, EventHandle
 from repro.core.rng import RandomSource
 from repro.core.stats import AvailabilityTracker
 from repro.faults.models import FaultModel, TraceFaultSchedule, make_fault_model
+from repro.telemetry import session as telemetry
 
 
 class _FaultProcess:
@@ -184,6 +185,12 @@ class FaultInjector:
             raise ValueError(f"unknown fault kind {kind!r}")
         if changed:
             self.failures_injected += 1
+        ts = telemetry.ACTIVE
+        if ts is not None and ts.fault is not None:
+            ts.fault.instant(
+                "fault", "fail", f"fault/{label}", now,
+                args={"kind": kind, "applied": changed},
+            )
         self._tracker(label).mark_down(now)
 
     def _apply_repair(self, kind: str, target, label: str) -> None:
@@ -208,6 +215,12 @@ class FaultInjector:
             raise ValueError(f"unknown fault kind {kind!r}")
         if changed:
             self.repairs_applied += 1
+        ts = telemetry.ACTIVE
+        if ts is not None and ts.fault is not None:
+            ts.fault.instant(
+                "fault", "repair", f"fault/{label}", now,
+                args={"kind": kind, "applied": changed},
+            )
         self._tracker(label).mark_up(now)
 
     def _apply_trace_event(self, kind: str, target: str, action: str) -> None:
@@ -250,6 +263,19 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
+    def register_metrics(self, registry, prefix: str = "faults") -> None:
+        """Expose injector stats through a telemetry metrics registry."""
+        registry.register_counter(
+            f"{prefix}.failures_injected", lambda: self.failures_injected
+        )
+        registry.register_counter(
+            f"{prefix}.repairs_applied", lambda: self.repairs_applied
+        )
+        registry.register_gauge(
+            f"{prefix}.fleet_availability",
+            lambda: self.summary()["fleet_availability"],
+        )
+
     def summary(self, now: Optional[float] = None) -> Dict:
         """Reliability metrics: per-component and fleet-wide availability."""
         if now is None:

@@ -26,6 +26,7 @@ from repro.core.stats import LatencyCollector
 from repro.network.link import Link
 from repro.network.routing import Router
 from repro.network.topology import Topology
+from repro.telemetry import session as telemetry
 
 DirectedLink = Tuple[Link, str, str]
 
@@ -202,6 +203,13 @@ class FlowNetwork:
         dst = self.topology.server_node(dst_server_id)
         now = self.engine.now
         flow = self._build_flow(src, dst, size_bytes * 8.0, callback, now)
+        ts = telemetry.ACTIVE
+        if ts is not None and ts.net is not None:
+            rec = ts.net
+            rec.begin(
+                "net", "flow", "net/flows", now, rec.seq_id("flow", flow),
+                args={"src": src, "dst": dst, "bytes": size_bytes},
+            )
         self._launch(flow)
         return flow
 
@@ -274,6 +282,13 @@ class FlowNetwork:
         self.flows_completed += 1
         self.bits_delivered += flow.size_bits
         self.flow_completion_time.record(now - flow.created_at)
+        ts = telemetry.ACTIVE
+        if ts is not None and ts.net is not None:
+            rec = ts.net
+            rec.end(
+                "net", "flow", "net/flows", now, rec.seq_id("flow", flow),
+                args={"fct_s": now - flow.created_at},
+            )
         self._recompute()
         flow.callback()
 

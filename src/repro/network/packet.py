@@ -43,6 +43,7 @@ from repro.network.link import Link
 from repro.network.routing import Router
 from repro.network.switch import PortState, LineCardState
 from repro.network.topology import Topology
+from repro.telemetry import session as telemetry
 
 DEFAULT_MTU_BYTES = 1500
 
@@ -358,6 +359,12 @@ class _Train:
         self._unreserve()
         self.network.trains_materialized += 1
         tm = self.engine.now
+        ts = telemetry.ACTIVE
+        if ts is not None and ts.net is not None:
+            ts.net.instant(
+                "net", "train-materialize", "net/trains", tm,
+                args={"mode": self.mode},
+            )
         for handle in self.handles:
             if handle.pending:
                 handle.cancel()
@@ -550,13 +557,40 @@ class PacketNetwork:
             remaining_bytes -= chunk
             sizes.append(float(chunk))
 
+        ts = telemetry.ACTIVE
+        rec = ts.net if ts is not None else None
+        if rec is not None:
+            # _transfer_seq is per-network, so the async id is deterministic
+            # (Packet ids come from a process-global counter and are not).
+            xid = self._transfer_seq
+            rec.begin(
+                "net", "transfer", "net/transfers", self.engine.now, xid,
+                args={"src": src, "dst": dst, "bytes": size_bytes,
+                      "packets": n_packets},
+            )
+            inner_callback = callback
+
+            def callback() -> None:
+                rec.end("net", "transfer", "net/transfers", self.engine.now, xid)
+                inner_callback()
+
         if self.fast_path and self.max_queue_packets is None:
             hops = self.router.links_on_path(path)
             if self._train_eligible(path, hops):
                 train = _Train(self, path, hops, sizes, callback)
                 if self.express and train.try_express():
+                    if rec is not None:
+                        rec.instant(
+                            "net", "train-express", "net/trains",
+                            self.engine.now, args={"packets": n_packets},
+                        )
                     return
                 if n_packets >= 2:
+                    if rec is not None:
+                        rec.instant(
+                            "net", "train-engage", "net/trains",
+                            self.engine.now, args={"packets": n_packets},
+                        )
                     train.engage()
                     return
                 # Single-packet trains gain nothing over per-packet events.

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional
 from repro.core.config import SwitchConfig
 from repro.core.engine import Engine, EventHandle
 from repro.core.stats import EnergyAccount, StateTracker
+from repro.telemetry import session as telemetry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network.link import Link
@@ -287,6 +288,7 @@ class Switch:
         per_card = config.ports_per_linecard
         n_cards = (total_ports + per_card - 1) // per_card
         self.state = SwitchState.ON
+        self._state_since = engine.now
         self.tracker = StateTracker(self.state.value, engine.now)
         self.chassis_energy = EnergyAccount(f"{self.name}/chassis", config.chassis_base_w, engine.now)
         self.linecards: List[LineCard] = []
@@ -418,8 +420,16 @@ class Switch:
     def _set_state(self, state: SwitchState) -> None:
         if state is self.state:
             return
-        self.state = state
         now = self.engine.now
+        ts = telemetry.ACTIVE
+        if ts is not None and ts.power is not None:
+            # Close the span for the state we are leaving.
+            ts.power.complete(
+                "power", self.state.value, f"switch/{self.name}",
+                self._state_since, now - self._state_since,
+            )
+        self._state_since = now
+        self.state = state
         self.tracker.set_state(state.value, now)
         self.chassis_energy.set_power(self._chassis_power(), now)
 

@@ -79,16 +79,73 @@ def bench_schedule_cancel(n_timers: int = 200_000) -> float:
     return n_timers / elapsed
 
 
-def bench_task_churn(n_jobs: int = 20_000) -> float:
-    """Full-stack jobs/s: dispatch, execute and account short tasks."""
-    farm = build_farm(4, small_cloud_server(), policy=LeastLoadedPolicy(), seed=1)
-    rng = RandomSource(1)
-    factory = SingleTaskJobFactory(ExponentialService(0.005), rng.stream("s"))
-    start = time.perf_counter()
-    drive(farm, PoissonProcess(2000.0, rng.stream("a")), factory,
-          max_jobs=n_jobs, drain=True)
-    elapsed = time.perf_counter() - start
-    return farm.scheduler.jobs_completed / elapsed
+def bench_task_churn(n_jobs: int = 20_000, traced: bool = False) -> float:
+    """Full-stack jobs/s: dispatch, execute and account short tasks.
+
+    With ``traced`` the identical workload runs under an active telemetry
+    session (trace + metrics), measuring the enabled-path emit cost end to
+    end; the default measures the guard-only disabled path.
+    """
+    def run() -> float:
+        farm = build_farm(4, small_cloud_server(), policy=LeastLoadedPolicy(), seed=1)
+        rng = RandomSource(1)
+        factory = SingleTaskJobFactory(ExponentialService(0.005), rng.stream("s"))
+        start = time.perf_counter()
+        drive(farm, PoissonProcess(2000.0, rng.stream("a")), factory,
+              max_jobs=n_jobs, drain=True)
+        elapsed = time.perf_counter() - start
+        return farm.scheduler.jobs_completed / elapsed
+
+    if not traced:
+        return run()
+    from repro.telemetry import session as telemetry_session
+
+    with telemetry_session.session(trace=True, metrics=True):
+        return run()
+
+
+def bench_telemetry_overhead(n_events: int = 200_000) -> Dict[str, Any]:
+    """The telemetry layer's on/off cost on the engine dispatch path.
+
+    Measures the :func:`bench_engine_events` workload three ways — no
+    dispatch hook (the instrumented engine's fast path, which must stay
+    within the regression tolerance of the committed pre-telemetry
+    baseline), a pass-through hook, and a full
+    :class:`~repro.telemetry.profiler.DispatchProfiler` — and reports the
+    hook-enabled overhead.  Rates are best-of-two to damp scheduler noise.
+    """
+    from repro.telemetry.profiler import DispatchProfiler
+
+    def run_once(mode: str) -> float:
+        engine = Engine()
+        fired = [0]
+
+        def tick() -> None:
+            fired[0] += 1
+            if fired[0] < n_events:
+                engine.post(0.001, tick)
+
+        sink = fired.__getitem__
+        for i in range(1000):
+            engine.post(float(i), sink, 0)
+        engine.post(0.0, tick)
+        if mode == "passthrough":
+            engine.set_dispatch_hook(lambda t, cb, a: cb(*a))
+        elif mode == "profiled":
+            DispatchProfiler().attach(engine)
+        start = time.perf_counter()
+        engine.run()
+        return engine.events_executed / (time.perf_counter() - start)
+
+    disabled = max(run_once("disabled"), run_once("disabled"))
+    passthrough = max(run_once("passthrough"), run_once("passthrough"))
+    profiled = max(run_once("profiled"), run_once("profiled"))
+    return {
+        "events_per_s_hook_disabled": round(disabled),
+        "events_per_s_hook_passthrough": round(passthrough),
+        "events_per_s_profiled": round(profiled),
+        "hook_overhead_pct": round((disabled - passthrough) / disabled * 100, 2),
+    }
 
 
 def bench_net_packet_throughput(n_packets: int = 50_000) -> float:
@@ -229,9 +286,18 @@ def run_bench(
         "events_per_s": round(bench_engine_events(200_000)),
         "schedule_cancel_per_s": round(bench_schedule_cancel(200_000)),
     }
+    n_churn = 10_000 if quick else 20_000
     result["farm"] = {
-        "jobs_per_s": round(bench_task_churn(10_000 if quick else 20_000)),
+        "jobs_per_s": round(bench_task_churn(n_churn)),
     }
+
+    # Telemetry on/off: the hook-disabled rate is gated against the committed
+    # baseline (zero-cost-when-off guarantee); the traced farm rate shows the
+    # full emit-site cost when a session is active.
+    result["telemetry"] = bench_telemetry_overhead(200_000)
+    result["telemetry"]["jobs_per_s_traced"] = round(
+        bench_task_churn(n_churn, traced=True)
+    )
 
     # The packet and routing benches stay full-size in quick mode for the
     # same comparability reason as the engine benches: at smaller query
@@ -287,6 +353,7 @@ def check_regression(
         ("engine", "events_per_s"),
         ("engine", "schedule_cancel_per_s"),
         ("farm", "jobs_per_s"),
+        ("telemetry", "events_per_s_hook_disabled"),
         ("network", "packets_per_s"),
         ("network", "fanout_transfers_per_s"),
         ("network", "routes_per_s"),
@@ -314,6 +381,15 @@ def render(result: Dict[str, Any]) -> str:
     lines.append(f"  engine events/s:          {engine.get('events_per_s', 0):>12,}")
     lines.append(f"  schedule+cancel pairs/s:  {engine.get('schedule_cancel_per_s', 0):>12,}")
     lines.append(f"  farm jobs/s:              {result.get('farm', {}).get('jobs_per_s', 0):>12,}")
+    telem = result.get("telemetry")
+    if telem:
+        lines.append(
+            f"  telemetry off events/s:   {telem.get('events_per_s_hook_disabled', 0):>12,} "
+            f"(hook on: {telem.get('hook_overhead_pct', 0):+.1f}%)"
+        )
+        lines.append(
+            f"  telemetry traced jobs/s:  {telem.get('jobs_per_s_traced', 0):>12,}"
+        )
     network = result.get("network")
     if network:
         lines.append(f"  net packets/s:            {network.get('packets_per_s', 0):>12,}")

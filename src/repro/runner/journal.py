@@ -181,8 +181,14 @@ class SweepJournal:
         duration_s: float,
         value: Any = None,
         error: Optional[str] = None,
+        telemetry: Optional[dict] = None,
     ) -> None:
-        """Append one completed-point line and flush it to disk."""
+        """Append one completed-point line and flush it to disk.
+
+        ``telemetry`` is a point's captured telemetry payload; it is stored
+        as plain JSON (not pickled) so resumed sweeps replay the exact trace
+        events and a journal stays greppable for post-mortems.
+        """
         self.open()
         record = {
             "fingerprint": fingerprint,
@@ -196,6 +202,8 @@ class SweepJournal:
             record["result"] = encode_result(value)
         if error is not None:
             record["error"] = error
+        if telemetry is not None:
+            record["telemetry"] = telemetry
         self._write_line(record)
         self.lines_written += 1
 

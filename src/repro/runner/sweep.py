@@ -53,6 +53,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence
 
 from repro.runner.journal import SweepJournal, decode_result, point_fingerprint
+from repro.telemetry import session as telemetry_session
+from repro.telemetry.session import PointCapture, TelemetryCapture, capture_point
 
 
 def derive_point_seed(base_seed: int, point_index: int) -> int:
@@ -161,9 +163,20 @@ class SweepSpec:
         return len(self.points)
 
 
-def _execute_point(point: SweepPoint) -> Any:
-    """Top-level worker entry point (must be picklable by name)."""
-    return point.execute()
+def _execute_point(
+    point: SweepPoint, capture: Optional[TelemetryCapture] = None
+) -> Any:
+    """Top-level worker entry point (must be picklable by name).
+
+    With a :class:`~repro.telemetry.session.TelemetryCapture` the point runs
+    under a child telemetry session and returns a
+    :class:`~repro.telemetry.session.PointCapture` wrapping value + payload;
+    the supervisor unwraps it.  Workers are spawned, so the parent's active
+    session never leaks in — the capture spec is the only channel.
+    """
+    if capture is None:
+        return point.execute()
+    return capture_point(capture, point)
 
 
 # ----------------------------------------------------------------------
@@ -194,6 +207,14 @@ class SweepOptions:
             appended (and fsync'd) as it finishes.
         resume: reuse ``ok`` results recorded in ``journal_path`` for points
             whose fingerprint (sweep name + fn + kwargs) is unchanged.
+        trace_dir: directory for per-point post-mortem trace streams.  Each
+            point streams its trace events to
+            ``trace_dir/point-NNNNN.trace.jsonl`` while it runs; the file of
+            a point that fails, times out, or is SIGKILLed survives for
+            post-mortem (read it with
+            :func:`repro.telemetry.trace.read_stream`), while successful
+            points' streams are deleted.  Works with or without an active
+            telemetry session.
     """
 
     point_timeout_s: Optional[float] = None
@@ -204,6 +225,7 @@ class SweepOptions:
     keep_going: bool = False
     journal_path: Optional[str] = None
     resume: bool = False
+    trace_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.retries < 0:
@@ -232,6 +254,8 @@ class PointOutcome:
     crashed on every attempt), ``"timeout"`` (overran the watchdog on every
     attempt), or ``"skipped"`` (never finally attempted because the sweep
     aborted first).  ``cached`` marks results replayed from the journal.
+    ``telemetry`` is the point's captured telemetry payload (trace events,
+    metrics snapshot, profile summary) when a session was active.
     """
 
     index: int
@@ -243,6 +267,7 @@ class PointOutcome:
     value: Any = None
     error: Optional[str] = None
     cached: bool = False
+    telemetry: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -365,11 +390,13 @@ class _PoolSupervisor:
         options: SweepOptions,
         outcomes: Dict[int, PointOutcome],
         journal: Optional[SweepJournal],
+        capture: Optional[TelemetryCapture] = None,
     ):
         self.name = name
         self.options = options
         self.outcomes = outcomes
         self.journal = journal
+        self.capture = capture
         self.n_workers = n_workers
         self.ready: Deque[_Attempt] = deque(attempts)
         self.delayed: List[tuple] = []  # (release_monotonic, _Attempt)
@@ -458,7 +485,7 @@ class _PoolSupervisor:
             att.started = time.monotonic()
             if self.options.point_timeout_s is not None:
                 att.deadline = att.started + self.options.point_timeout_s
-            future = self._executor.submit(_execute_point, att.point)
+            future = self._executor.submit(_execute_point, att.point, self.capture)
             self.inflight[future] = att
 
     # -- completion paths -----------------------------------------------
@@ -481,6 +508,10 @@ class _PoolSupervisor:
 
     def _point_ok(self, att: _Attempt, value: Any) -> None:
         duration = time.monotonic() - att.started
+        telemetry = None
+        if isinstance(value, PointCapture):
+            telemetry = value.payload
+            value = value.value
         outcome = PointOutcome(
             index=att.point.index,
             label=att.point.label,
@@ -489,6 +520,7 @@ class _PoolSupervisor:
             attempts=att.attempt,
             duration_s=duration,
             value=value,
+            telemetry=telemetry,
         )
         self.outcomes[att.point.index] = outcome
         self._journal(outcome)
@@ -604,6 +636,7 @@ class _PoolSupervisor:
             duration_s=outcome.duration_s,
             value=outcome.value,
             error=outcome.error,
+            telemetry=outcome.telemetry,
         )
 
 
@@ -613,6 +646,7 @@ def _run_inline(
     options: SweepOptions,
     outcomes: Dict[int, PointOutcome],
     journal: Optional[SweepJournal],
+    capture: Optional[TelemetryCapture] = None,
 ) -> None:
     """Single-process supervised execution (no watchdog: nothing to kill)."""
     aborted = False
@@ -628,7 +662,7 @@ def _run_inline(
         while True:
             started = time.monotonic()
             try:
-                value = att.point.execute()
+                value = _execute_point(att.point, capture)
             except KeyboardInterrupt:
                 raise
             except Exception as exc:
@@ -649,6 +683,10 @@ def _run_inline(
                 )
                 break
             else:
+                telemetry = None
+                if isinstance(value, PointCapture):
+                    telemetry = value.payload
+                    value = value.value
                 outcome = PointOutcome(
                     index=att.point.index,
                     label=att.point.label,
@@ -657,6 +695,7 @@ def _run_inline(
                     attempts=att.attempt,
                     duration_s=time.monotonic() - started,
                     value=value,
+                    telemetry=telemetry,
                 )
                 break
         outcomes[att.point.index] = outcome
@@ -670,6 +709,7 @@ def _run_inline(
                 duration_s=outcome.duration_s,
                 value=outcome.value,
                 error=outcome.error,
+                telemetry=outcome.telemetry,
             )
         if not outcome.ok and not options.keep_going:
             aborted = True
@@ -686,6 +726,13 @@ def run_sweep_detailed(
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     options = options or SweepOptions()
+
+    # Telemetry: freeze the active session (and/or post-mortem trace_dir)
+    # into a picklable per-point capture spec.  Points then record under
+    # child sessions — identically inline or in spawned workers — and the
+    # parent reassembles the payloads in point order below.
+    active_session = telemetry_session.ACTIVE
+    capture = TelemetryCapture.from_context(active_session, options.trace_dir)
 
     fingerprints = [
         point_fingerprint(spec.name, p.fn, p.kwargs) for p in spec.points
@@ -719,6 +766,7 @@ def run_sweep_detailed(
                     duration_s=float(entry.get("duration_s", 0.0)),
                     value=decode_result(entry["result"]),
                     cached=True,
+                    telemetry=entry.get("telemetry"),
                 )
 
     todo = [
@@ -748,11 +796,12 @@ def run_sweep_detailed(
     try:
         if use_pool:
             supervisor = _PoolSupervisor(
-                spec.name, todo, n_workers, options, outcomes, journal
+                spec.name, todo, n_workers, options, outcomes, journal,
+                capture=capture,
             )
             supervisor.run()
         elif todo:
-            _run_inline(spec.name, todo, options, outcomes, journal)
+            _run_inline(spec.name, todo, options, outcomes, journal, capture)
     except KeyboardInterrupt as exc:
         if journal is not None:
             journal.close()
@@ -775,6 +824,15 @@ def run_sweep_detailed(
                 status="skipped",
             )
         ordered.append(outcome)
+
+    # Hand each point's telemetry payload to the parent session in point
+    # order — completion order, worker count, retries, and journal resume
+    # all wash out here, which is what makes exported traces byte-identical
+    # across --jobs 1 / --jobs 4 / --resume.
+    if active_session is not None:
+        for outcome in ordered:
+            if outcome.telemetry is not None:
+                active_session.add_point_capture(outcome.label, outcome.telemetry)
     return SweepResult(name=spec.name, outcomes=ordered)
 
 
@@ -803,9 +861,10 @@ def run_sweep(
         SweepError: a point failed and ``keep_going`` is off.
         SweepInterrupted: Ctrl-C arrived mid-sweep (journal already flushed).
     """
-    if options is None and jobs == 1:
+    if options is None and jobs == 1 and telemetry_session.ACTIVE is None:
         # Legacy fast path: inline, zero supervision overhead, exceptions
-        # propagate unwrapped.
+        # propagate unwrapped.  Diverted when a telemetry session is active
+        # so points are captured per-point (same assembly as jobs=N).
         return [point.execute() for point in spec.points]
     result = run_sweep_detailed(spec, jobs=jobs, options=options)
     keep_going = options.keep_going if options is not None else False

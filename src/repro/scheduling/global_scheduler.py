@@ -23,6 +23,7 @@ from repro.core.engine import Engine
 from repro.core.stats import LatencyCollector
 from repro.jobs.task import Job, Task, TaskState
 from repro.scheduling.policies import DispatchPolicy, LeastLoadedPolicy
+from repro.telemetry import session as telemetry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.server.server import Server
@@ -114,6 +115,14 @@ class GlobalScheduler:
             raise ValueError(f"job {job.job_id} has no tasks")
         self.jobs_submitted += 1
         self.active_jobs += 1
+        ts = telemetry.ACTIVE
+        if ts is not None and ts.job is not None:
+            rec = ts.job
+            jid = rec.seq_id("job", job)
+            rec.begin(
+                "job", f"j{jid}", "jobs", self.engine.now, jid,
+                args={"type": job.job_type, "tasks": len(job.tasks)},
+            )
         for task in job.root_tasks():
             task.state = TaskState.READY
             self._place_task(task)
@@ -147,6 +156,17 @@ class GlobalScheduler:
         self._assign(task, server)
 
     def _assign(self, task: Task, server: "Server") -> None:
+        ts = telemetry.ACTIVE
+        if ts is not None and ts.sched is not None:
+            rec = ts.sched
+            rec.instant(
+                "sched", "dispatch", "sched", self.engine.now,
+                args={
+                    "job": rec.seq_id("job", task.job),
+                    "task": task.name,
+                    "server": server.name,
+                },
+            )
         self._placements[task] = server
         sources = self._pending_sources.pop(task, [])
         launched = False
@@ -210,6 +230,17 @@ class GlobalScheduler:
             self._fail_job(job)
             return
         self.tasks_retried += 1
+        ts = telemetry.ACTIVE
+        if ts is not None and ts.sched is not None:
+            rec = ts.sched
+            rec.instant(
+                "sched", "retry", "sched", self.engine.now,
+                args={
+                    "job": rec.seq_id("job", task.job),
+                    "task": task.name,
+                    "attempt": task.attempts,
+                },
+            )
         delay = self.retry_backoff_s * self.retry_backoff_factor ** (task.attempts - 1)
         self.engine.post(delay, self._redispatch, task)
 
@@ -225,6 +256,11 @@ class GlobalScheduler:
         job.failed = True
         self.jobs_failed += 1
         self.active_jobs -= 1
+        ts = telemetry.ACTIVE
+        if ts is not None and ts.job is not None:
+            rec = ts.job
+            jid = rec.seq_id("job", job)
+            rec.end("job", f"j{jid}", "jobs", self.engine.now, jid, args={"failed": True})
         if self.on_job_failed is not None:
             self.on_job_failed(job)
 
@@ -254,6 +290,13 @@ class GlobalScheduler:
             self.active_jobs -= 1
             self.jobs_completed += 1
             latency = job.latency()
+            ts = telemetry.ACTIVE
+            if ts is not None and ts.job is not None:
+                rec = ts.job
+                jid = rec.seq_id("job", job)
+                rec.end(
+                    "job", f"j{jid}", "jobs", now, jid, args={"latency_s": latency}
+                )
             self.job_latency.record(latency)
             if self.slo_latency_s is not None and latency > self.slo_latency_s:
                 self.slo_violations += 1

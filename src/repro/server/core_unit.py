@@ -19,6 +19,7 @@ from repro.core.engine import Engine, EventHandle
 from repro.core.stats import StateTracker
 from repro.jobs.task import Task, TaskState
 from repro.server.states import CoreState
+from repro.telemetry import session as telemetry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.server.processor import Processor
@@ -36,6 +37,7 @@ class Core:
         self.engine: Engine = processor.engine
         self.state = CoreState.C1
         self.current_task: Optional[Task] = None
+        self._state_since = self.engine.now
         self.tracker = StateTracker(CoreState.C1.value, self.engine.now)
         self.tasks_completed = 0
         self._completion: Optional[EventHandle] = None
@@ -133,6 +135,21 @@ class Core:
         task.state = TaskState.FINISHED
         task.finish_time = now
         self.tasks_completed += 1
+        ts = telemetry.ACTIVE
+        if ts is not None and ts.task is not None:
+            rec = ts.task
+            proc = self.processor
+            # seq_id, not Job.job_id: job ids come from a process-global
+            # counter and would differ between --jobs 1 and --jobs 4 runs.
+            jid = rec.seq_id("job", task.job)
+            rec.complete(
+                "task",
+                f"j{jid}/{task.name}",
+                f"server/{proc.server_label}/cpu{proc.socket_index}.{self.index}",
+                task.start_time,
+                now - task.start_time,
+                args={"job": jid, "type": task.task_type},
+            )
         self._set_state(CoreState.C1)
         self._arm_c6_timer()
         self.processor.on_core_complete(self, task)
@@ -158,6 +175,17 @@ class Core:
     def _set_state(self, state: CoreState) -> None:
         if state is self.state:
             return
+        ts = telemetry.ACTIVE
+        if ts is not None and ts.power is not None:
+            # Close the span for the C-state we are leaving.
+            now = self.engine.now
+            proc = self.processor
+            ts.power.complete(
+                "power", self.state.value,
+                f"server/{proc.server_label}/cpu{proc.socket_index}.{self.index}",
+                self._state_since, now - self._state_since,
+            )
+        self._state_since = self.engine.now
         self.state = state
         self.tracker.set_state(state.value, self.engine.now)
         self.processor.on_core_state_change(self)

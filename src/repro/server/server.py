@@ -31,6 +31,7 @@ from repro.server.core_unit import Core
 from repro.server.local_scheduler import make_local_scheduler
 from repro.server.processor import Processor
 from repro.server.states import ResidencyCategory, SystemState
+from repro.telemetry import session as telemetry
 
 SLEEP_LEVELS = {"s3": SystemState.S3, "s5": SystemState.S5}
 
@@ -87,6 +88,7 @@ class Server:
         self.failure_count = 0
         self.repair_count = 0
         self.tags: Dict[str, object] = {}
+        self._state_since = now  # start of the current system_state interval
         self._update_power()
         self._update_residency()
 
@@ -310,6 +312,18 @@ class Server:
     def _set_system_state(self, state: SystemState) -> None:
         if state is self.system_state:
             return
+        ts = telemetry.ACTIVE
+        if ts is not None and ts.power is not None:
+            # Close the span for the state we are leaving.
+            now = self.engine.now
+            ts.power.complete(
+                "power",
+                self.system_state.value,
+                f"server/{self.name}",
+                self._state_since,
+                now - self._state_since,
+            )
+        self._state_since = self.engine.now
         self.system_state = state
         self._update_power()
         self._update_residency()

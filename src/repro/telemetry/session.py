@@ -1,0 +1,255 @@
+"""Telemetry activation: the global session all emit sites guard on.
+
+The simulator's emit sites follow one pattern::
+
+    from repro.telemetry import session as telemetry
+    ...
+    ts = telemetry.ACTIVE
+    if ts is not None and ts.power is not None:
+        ts.power.complete("power", ...)
+
+With no session active this costs one module-global load and an ``is None``
+test — strictly zero-cost in the sense the ISSUE demands (verified by the
+``repro bench`` telemetry microbench).  The per-category attributes
+(``ts.task``, ``ts.power``, ...) are the recorder when that category is
+enabled and ``None`` otherwise, so category filtering is also one attribute
+load at the call site, never a set lookup per event.
+
+Sweep integration: a parent session is *not* shared with worker processes.
+Instead :func:`TelemetryCapture.from_context` freezes the parent's
+configuration into a picklable spec; :func:`capture_point` replays it around
+one sweep point in the worker, returning a JSON-serialisable payload the
+parent reassembles in point order — which is what makes exported traces
+byte-identical across ``--jobs 1`` and ``--jobs 4``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profiler import DispatchProfiler
+from repro.telemetry.trace import (
+    CATEGORIES,
+    DEFAULT_MAX_EVENTS,
+    TraceRecorder,
+    stream_header,
+)
+
+
+class TelemetrySession:
+    """One activation of the telemetry layer: recorder + metrics + profiler."""
+
+    def __init__(
+        self,
+        trace: bool = True,
+        categories: Optional[Tuple[str, ...]] = None,
+        metrics: bool = True,
+        profile: bool = False,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        stream_path: Optional[str] = None,
+        label: Optional[str] = None,
+    ):
+        self.label = label
+        self._stream_fh = None
+        recorder = None
+        if trace or stream_path:
+            if stream_path:
+                self._stream_fh = open(stream_path, "w")
+                self._stream_fh.write(
+                    json.dumps(stream_header(label), separators=(",", ":"))
+                )
+                self._stream_fh.write("\n")
+            recorder = TraceRecorder(
+                categories=categories, max_events=max_events, stream=self._stream_fh
+            )
+        self.recorder = recorder
+        # Per-category shortcuts: the recorder when enabled, else None, so
+        # emit sites pay one attribute load to test a category.
+        for cat in CATEGORIES:
+            enabled = recorder is not None and cat in recorder.categories
+            setattr(self, cat, recorder if enabled else None)
+        self.metrics = MetricsRegistry() if metrics else None
+        self.profiler = DispatchProfiler() if profile else None
+        #: (label, payload) per completed sweep point, in point order.
+        self.point_captures: List[Tuple[Optional[str], dict]] = []
+
+    # ------------------------------------------------------------------
+    def attach_engine(self, engine) -> None:
+        """Instrument an engine with the profiler (no-op unless profiling)."""
+        if self.profiler is not None:
+            self.profiler.attach(engine)
+
+    def add_point_capture(self, label: Optional[str], payload: dict) -> None:
+        self.point_captures.append((label, payload))
+
+    def payload(self) -> dict:
+        """This session's telemetry as one JSON-serialisable dict."""
+        doc: dict = {}
+        if self.recorder is not None:
+            doc["events"] = [list(ev) for ev in self.recorder.events]
+            doc["dropped"] = self.recorder.dropped
+        if self.metrics is not None:
+            doc["metrics"] = self.metrics.snapshot()
+        if self.profiler is not None:
+            doc["profile"] = self.profiler.summary()
+        return doc
+
+    def close(self) -> None:
+        if self._stream_fh is not None:
+            try:
+                self._stream_fh.close()
+            finally:
+                self._stream_fh = None
+            if self.recorder is not None:
+                self.recorder._stream = None
+
+
+#: The active session, or None.  Module-global by design: emit sites read it
+#: with one LOAD_ATTR on an already-imported module.
+ACTIVE: Optional[TelemetrySession] = None
+
+
+def current() -> Optional[TelemetrySession]:
+    return ACTIVE
+
+
+def activate(sess: TelemetrySession) -> Optional[TelemetrySession]:
+    """Make ``sess`` the active session; returns the one it displaced.
+
+    Nesting is deliberate: a sweep point captured inside an inline sweep
+    swaps its own child session in and restores the parent afterwards.
+    """
+    global ACTIVE
+    prev = ACTIVE
+    ACTIVE = sess
+    return prev
+
+
+def deactivate(prev: Optional[TelemetrySession] = None) -> None:
+    """Clear the active session (or restore ``prev`` from :func:`activate`)."""
+    global ACTIVE
+    ACTIVE = prev
+
+
+@contextmanager
+def session(**kwargs):
+    """``with telemetry.session(profile=True) as ts: ...``"""
+    sess = TelemetrySession(**kwargs)
+    prev = activate(sess)
+    try:
+        yield sess
+    finally:
+        deactivate(prev)
+        sess.close()
+
+
+# ----------------------------------------------------------------------
+# Sweep-point capture
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TelemetryCapture:
+    """A picklable freeze of the parent session's configuration.
+
+    Shipped to sweep workers so each point records under an equivalent child
+    session.  ``return_payload`` is False when no parent session exists (the
+    capture only exists to stream post-mortem traces into ``trace_dir``).
+    """
+
+    trace: bool = True
+    categories: Optional[Tuple[str, ...]] = None
+    metrics: bool = True
+    profile: bool = False
+    max_events: int = DEFAULT_MAX_EVENTS
+    trace_dir: Optional[str] = None
+    keep_traces: str = "failed"  # "failed" | "all"
+    return_payload: bool = True
+
+    @classmethod
+    def from_context(
+        cls,
+        active: Optional[TelemetrySession],
+        trace_dir: Optional[str] = None,
+        keep_traces: str = "failed",
+    ) -> Optional["TelemetryCapture"]:
+        """Derive the capture spec for a sweep, or None if nothing to do."""
+        if active is None and trace_dir is None:
+            return None
+        if active is None:
+            return cls(
+                trace=True, metrics=False, profile=False,
+                trace_dir=trace_dir, keep_traces=keep_traces,
+                return_payload=False,
+            )
+        categories = (
+            tuple(sorted(active.recorder.categories))
+            if active.recorder is not None else None
+        )
+        return cls(
+            trace=active.recorder is not None,
+            categories=categories,
+            metrics=active.metrics is not None,
+            profile=active.profiler is not None,
+            max_events=(
+                active.recorder.max_events if active.recorder is not None
+                else DEFAULT_MAX_EVENTS
+            ),
+            trace_dir=trace_dir,
+            keep_traces=keep_traces,
+            return_payload=True,
+        )
+
+    def stream_path_for(self, index: int) -> Optional[str]:
+        if self.trace_dir is None:
+            return None
+        return os.path.join(self.trace_dir, f"point-{index:05d}.trace.jsonl")
+
+
+@dataclass
+class PointCapture:
+    """What a captured sweep point sends back: its value plus telemetry."""
+
+    value: Any
+    payload: dict
+
+
+def capture_point(capture: TelemetryCapture, point) -> Any:
+    """Run one sweep point under a child telemetry session.
+
+    ``point`` is duck-typed (needs ``.execute()``, ``.index``, ``.label``).
+    The child session streams to ``capture.trace_dir`` while running, so a
+    point killed by the watchdog leaves a readable post-mortem trace; traces
+    of successful points are deleted unless ``keep_traces == "all"``.
+    """
+    stream_path = capture.stream_path_for(point.index)
+    if stream_path is not None:
+        os.makedirs(capture.trace_dir, exist_ok=True)
+    sess = TelemetrySession(
+        trace=capture.trace,
+        categories=capture.categories,
+        metrics=capture.metrics,
+        profile=capture.profile,
+        max_events=capture.max_events,
+        stream_path=stream_path,
+        label=point.label,
+    )
+    prev = activate(sess)
+    ok = False
+    try:
+        value = point.execute()
+        ok = True
+    finally:
+        deactivate(prev)
+        sess.close()
+        if stream_path is not None and ok and capture.keep_traces != "all":
+            try:
+                os.remove(stream_path)
+            except OSError:
+                pass
+    if not capture.return_payload:
+        return value
+    return PointCapture(value=value, payload=sess.payload())

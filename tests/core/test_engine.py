@@ -411,3 +411,73 @@ class TestEngineProperties:
         engine.run()
         assert set(fired).isdisjoint(cancelled)
         assert set(fired) | cancelled == set(range(len(delays)))
+
+
+class TestDispatchHook:
+    """The telemetry instrumentation point: Engine.set_dispatch_hook."""
+
+    def test_hook_sees_every_event_and_invokes_callbacks(self):
+        engine = Engine()
+        seen = []
+
+        def hook(time, callback, args):
+            seen.append(time)
+            callback(*args)
+
+        engine.set_dispatch_hook(hook)
+        fired = []
+        engine.post(2.0, fired.append, "b")
+        engine.post(1.0, fired.append, "a")
+        engine.run()
+        assert fired == ["a", "b"]
+        assert seen == [1.0, 2.0]
+        assert engine.events_executed == 2
+
+    def test_hook_replaces_invocation(self):
+        # The hook owns the call: one that swallows the callback suppresses
+        # execution (events are still consumed and counted).
+        engine = Engine()
+        engine.set_dispatch_hook(lambda t, cb, a: None)
+        fired = []
+        engine.post(1.0, fired.append, 1)
+        engine.run()
+        assert fired == []
+        assert engine.events_executed == 1
+
+    def test_step_honours_hook(self):
+        engine = Engine()
+        seen = []
+        engine.set_dispatch_hook(lambda t, cb, a: (seen.append(t), cb(*a)))
+        fired = []
+        engine.post(1.0, fired.append, "x")
+        assert engine.step()
+        assert fired == ["x"] and seen == [1.0]
+
+    def test_clearing_hook_restores_fast_path(self):
+        engine = Engine()
+        engine.set_dispatch_hook(lambda t, cb, a: cb(*a))
+        engine.set_dispatch_hook(None)
+        assert engine.dispatch_hook is None
+        fired = []
+        engine.post(1.0, fired.append, 1)
+        engine.run()
+        assert fired == [1]
+
+    def test_non_callable_hook_rejected(self):
+        with pytest.raises(TypeError):
+            Engine().set_dispatch_hook("not-a-hook")
+
+    def test_hooked_run_matches_fast_run(self):
+        def workload(engine):
+            order = []
+            engine.schedule(0.5, order.append, "timer")
+            handle = engine.schedule(0.7, order.append, "cancelled")
+            handle.cancel()
+            engine.post(0.2, order.append, "posted")
+            engine.run()
+            return order, engine.now, engine.events_executed
+
+        plain = workload(Engine())
+        hooked_engine = Engine()
+        hooked_engine.set_dispatch_hook(lambda t, cb, a: cb(*a))
+        assert workload(hooked_engine) == plain

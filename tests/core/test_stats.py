@@ -11,6 +11,7 @@ from hypothesis import strategies as st
 
 from repro.core.engine import Engine
 from repro.core.stats import (
+    CdfResult,
     EnergyAccount,
     LatencyCollector,
     StateTracker,
@@ -249,3 +250,59 @@ class TestTimeSeriesSampler:
         sampler.start(first_sample_at=1.0)
         engine.run(until=3.0)
         assert series.mean() == pytest.approx(4.0)
+
+
+class TestLatencyCollectorEdgeCases:
+    """The guards the telemetry snapshot layer relies on."""
+
+    def test_empty_collector_raises_on_every_query(self):
+        empty = LatencyCollector("lat")
+        for query in (empty.mean, empty.max, empty.cdf):
+            with pytest.raises(ValueError, match="no samples recorded"):
+                query()
+        with pytest.raises(ValueError, match="no samples recorded"):
+            empty.percentile(50)
+
+    def test_percentile_out_of_range(self):
+        collector = LatencyCollector()
+        collector.record(1.0)
+        for p in (-0.1, 100.1, 1e9):
+            with pytest.raises(ValueError, match=r"outside \[0, 100\]"):
+                collector.percentile(p)
+
+    def test_single_sample_extremes(self):
+        collector = LatencyCollector()
+        collector.record(3.5)
+        assert collector.percentile(0) == 3.5
+        assert collector.percentile(100) == 3.5
+        assert collector.mean() == 3.5
+        assert collector.max() == 3.5
+
+    def test_percentile_zero_is_minimum(self):
+        collector = LatencyCollector()
+        collector.extend([5.0, 1.0, 3.0])
+        assert collector.percentile(0) == 1.0
+        assert collector.percentile(100) == 5.0
+
+
+class TestCdfResultEdgeCases:
+    def test_empty_cdf_raises(self):
+        with pytest.raises(ValueError, match="empty CDF"):
+            CdfResult(values=[]).quantile(0.5)
+
+    def test_quantile_out_of_range(self):
+        cdf = CdfResult(values=[1.0])
+        for p in (-0.01, 1.01):
+            with pytest.raises(ValueError, match=r"outside \[0, 1\]"):
+                cdf.quantile(p)
+
+    def test_single_sample_quantile_extremes(self):
+        cdf = CdfResult(values=[2.0])
+        assert cdf.quantile(0.0) == 2.0
+        assert cdf.quantile(1.0) == 2.0
+
+    def test_quantile_is_smallest_value_at_or_above_p(self):
+        cdf = CdfResult(values=[1.0, 2.0, 3.0, 4.0])
+        assert cdf.quantile(0.25) == 1.0
+        assert cdf.quantile(0.26) == 2.0
+        assert cdf.quantile(1.0) == 4.0

@@ -71,3 +71,38 @@ def record_execution(x: int, scratch_dir: str) -> int:
     with open(os.path.join(scratch_dir, f"ran-{x}.marker"), "w") as fh:
         fh.write("ran")
     return x
+
+
+def traced_work(x: int, fail_above: int = 10**9) -> int:
+    """Emit deterministic trace events / metrics under any active session.
+
+    Used by the telemetry-capture tests: the emitted content depends only on
+    ``x``, so assembled payloads must be identical however the sweep ran.
+    """
+    from repro.telemetry import session as telemetry
+
+    ts = telemetry.ACTIVE
+    if ts is not None and ts.task is not None:
+        rec = ts.task
+        rec.complete("task", f"work-{x}", "sim/work", float(x), 0.5, args={"x": x})
+        rec.instant("task", "tick", "sim/work", float(x) + 1.0)
+    if ts is not None and ts.metrics is not None:
+        ts.metrics.register_counter("work.x", x)
+    if x >= fail_above:
+        raise RuntimeError(f"point {x} exploded")
+    return x
+
+
+def traced_then_hangs(x: int, scratch_dir: str, sleep_s: float = 60.0) -> int:
+    """Emit one trace event, then hang on the first call (watchdog bait)."""
+    from repro.telemetry import session as telemetry
+
+    ts = telemetry.ACTIVE
+    if ts is not None and ts.task is not None:
+        ts.task.instant("task", "about-to-hang", "sim/hang", float(x))
+    marker = os.path.join(scratch_dir, f"hang-{x}.marker")
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("attempted")
+        time.sleep(sleep_s)
+    return x

@@ -9,6 +9,7 @@ because spawn-based pools pickle callables by qualified name.
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -24,6 +25,8 @@ from repro.runner import (
 )
 from repro.runner.journal import SweepJournal, stable_repr
 from repro.runner.sweep import _backoff_s
+from repro.telemetry import session as telemetry
+from repro.telemetry.trace import read_stream
 from tests.runner import _workers as w
 
 
@@ -334,3 +337,79 @@ class TestPoolResilience:
         assert statuses[0] == "timeout"
         assert statuses[1:] == ["ok", "ok", "ok"]
         assert result.values()[1:] == [1, 2, 3]
+
+
+class TestTelemetryCapture:
+    """Sweep points traced under an active telemetry session."""
+
+    def _spec(self, n=4):
+        spec = SweepSpec("traced")
+        for x in range(n):
+            spec.add(w.traced_work, x=x)
+        return spec
+
+    def test_pool_capture_matches_inline(self):
+        """Per-point telemetry reassembled in point order must be identical
+        whether points ran inline or out-of-order across pool workers."""
+        captures = []
+        for jobs in (1, 2):
+            with telemetry.session(trace=True, metrics=True) as sess:
+                run_sweep(self._spec(), jobs=jobs)
+            captures.append(json.dumps(sess.point_captures, sort_keys=True))
+        assert captures[0] == captures[1]
+        payloads = json.loads(captures[0])
+        assert [label for label, _ in payloads] == [
+            "x=0", "x=1", "x=2", "x=3"
+        ]
+        assert payloads[2][1]["metrics"]["counters"]["work.x"] == 2
+
+    def test_resume_replays_telemetry_from_journal(self, tmp_path):
+        """A resumed sweep must reassemble the same telemetry as an
+        uninterrupted one — completed points replay their journaled
+        payloads instead of re-running."""
+        journal_path = str(tmp_path / "sweep.journal")
+        full = self._spec()
+        partial = SweepSpec("traced")
+        for x in range(2):
+            partial.add(w.traced_work, x=x)
+        with telemetry.session(trace=True, metrics=True) as first:
+            run_sweep(partial, options=SweepOptions(journal_path=journal_path))
+        with telemetry.session(trace=True, metrics=True) as resumed:
+            run_sweep(full, options=SweepOptions(
+                journal_path=journal_path, resume=True))
+        with telemetry.session(trace=True, metrics=True) as baseline:
+            run_sweep(full)
+        assert first.point_captures == resumed.point_captures[:2]
+        assert json.dumps(resumed.point_captures, sort_keys=True) == (
+            json.dumps(baseline.point_captures, sort_keys=True)
+        )
+
+    def test_trace_dir_survives_watchdog_kill(self, tmp_path):
+        """The post-mortem stream of a point killed by the watchdog must be
+        readable: that file is the whole point of --trace-dir."""
+        trace_dir = str(tmp_path / "traces")
+        spec = SweepSpec("hang")
+        spec.add(w.traced_then_hangs, x=9, scratch_dir=str(tmp_path),
+                 sleep_s=60.0)
+        opts = SweepOptions(point_timeout_s=1.0, keep_going=True,
+                            trace_dir=trace_dir)
+        result = run_sweep_detailed(spec, jobs=1, options=opts)
+        assert result.outcomes[0].status == "timeout"
+        header, events = read_stream(
+            os.path.join(trace_dir, "point-00000.trace.jsonl")
+        )
+        assert header["label"].startswith("x=9")
+        assert [ev[2] for ev in events] == ["about-to-hang"]
+
+    def test_trace_dir_drops_streams_of_ok_points(self, tmp_path):
+        trace_dir = str(tmp_path / "traces")
+        run_sweep(self._spec(2), options=SweepOptions(trace_dir=trace_dir))
+        assert sorted(os.listdir(trace_dir)) == []
+
+    def test_active_session_diverts_legacy_fast_path(self):
+        """run_sweep with default options must still capture telemetry — the
+        no-options fast path may only run when no session is active."""
+        with telemetry.session(trace=True) as sess:
+            values = run_sweep(self._spec(3))
+        assert values == [0, 1, 2]
+        assert len(sess.point_captures) == 3

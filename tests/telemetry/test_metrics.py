@@ -1,0 +1,115 @@
+"""Tests for the unified metrics registry and its JSON/CSV export."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.core.stats import LatencyCollector, TimeSeries
+from repro.telemetry.metrics import MetricsRegistry, write_metrics
+
+
+class TestRegistration:
+    def test_counter_accepts_value_and_callable(self):
+        reg = MetricsRegistry()
+        reg.register_counter("a", 3)
+        box = [0]
+        reg.register_counter("b", lambda: box[0])
+        box[0] = 9
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a": 3, "b": 9}
+
+    def test_gauge_reads_lazily_at_snapshot(self):
+        reg = MetricsRegistry()
+        state = {"w": 1.0}
+        reg.register_gauge("power", lambda: state["w"])
+        state["w"] = 42.5
+        assert reg.snapshot()["gauges"]["power"] == 42.5
+
+    def test_duplicate_names_rejected_across_kinds(self):
+        reg = MetricsRegistry()
+        reg.register_counter("x", 1)
+        with pytest.raises(ValueError, match="already registered as a counter"):
+            reg.register_gauge("x", 2)
+        with pytest.raises(ValueError):
+            reg.register_histogram("x", LatencyCollector("x"))
+
+    def test_len_counts_every_kind(self):
+        reg = MetricsRegistry()
+        reg.register_counter("c", 1)
+        reg.register_gauge("g", 1)
+        reg.register_histogram("h", LatencyCollector("h"))
+        reg.register_series("s", TimeSeries("s"))
+        assert len(reg) == 4
+
+
+class TestSnapshot:
+    def test_histogram_stats(self):
+        reg = MetricsRegistry()
+        coll = LatencyCollector("lat")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            coll.record(v)
+        reg.register_histogram("lat", coll)
+        stats = reg.snapshot()["histograms"]["lat"]
+        assert stats["count"] == 4
+        assert stats["mean"] == 2.5
+        assert stats["max"] == 4.0
+        assert stats["p50"] == 2.0
+
+    def test_empty_histogram_reports_count_only(self):
+        reg = MetricsRegistry()
+        reg.register_histogram("lat", LatencyCollector("lat"))
+        assert reg.snapshot()["histograms"]["lat"] == {"count": 0}
+
+    def test_series_summary_and_points(self):
+        reg = MetricsRegistry()
+        ts = TimeSeries("power")
+        ts.append(0.0, 10.0)
+        ts.append(1.0, 20.0)
+        reg.register_series("power", ts)
+        summary = reg.snapshot()["series"]["power"]
+        assert summary == {"count": 2, "last_t": 1.0, "last_value": 20.0, "mean": 15.0}
+        detailed = reg.snapshot(include_series_points=True)["series"]["power"]
+        assert detailed["points"] == [[0.0, 10.0], [1.0, 20.0]]
+
+    def test_snapshot_is_json_serialisable_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.register_counter("z", 1)
+        reg.register_counter("a", 2)
+        snap = reg.snapshot()
+        json.dumps(snap)
+        assert list(snap["counters"]) == ["a", "z"]
+
+
+class TestExport:
+    def _registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.register_counter("jobs", 7)
+        coll = LatencyCollector("lat")
+        coll.record(1.0)
+        reg.register_histogram("lat", coll)
+        return reg
+
+    def test_json_export(self, tmp_path):
+        path = tmp_path / "m.json"
+        write_metrics(str(path), self._registry().snapshot())
+        doc = json.loads(path.read_text())
+        assert doc["counters"]["jobs"] == 7
+
+    def test_csv_export_single_snapshot(self, tmp_path):
+        path = tmp_path / "m.csv"
+        write_metrics(str(path), self._registry().snapshot())
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["label", "kind", "metric", "value"]
+        assert ["", "counter", "jobs", "7"] in rows
+
+    def test_csv_export_multi_point(self, tmp_path):
+        path = tmp_path / "m.csv"
+        snap = self._registry().snapshot()
+        doc = {"points": [{"label": "tau=0", **snap}, {"label": "tau=1", **snap}]}
+        write_metrics(str(path), doc)
+        rows = list(csv.reader(path.open()))
+        labels = {row[0] for row in rows[1:]}
+        assert labels == {"tau=0", "tau=1"}

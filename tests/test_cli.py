@@ -143,7 +143,7 @@ class TestTraceCommands:
         assert out.exists()
         main([
             "provisioning", "--servers", "4", "--duration", "20",
-            "--trace", str(out), "--day-length", "10",
+            "--arrival-trace", str(out), "--day-length", "10",
         ])
         assert "Fig. 4" in capsys.readouterr().out
 
@@ -156,3 +156,98 @@ class TestTraceCommands:
         text = out.read_text()
         assert text.startswith("#")
         assert len(text.splitlines()) > 100
+
+
+class TestObservabilityFlags:
+    def test_flags_parse_on_every_subcommand(self):
+        for command in (
+            "provisioning", "delay-timer", "residency", "joint", "faults",
+            "scalability", "validate-server", "bench", "make-trace",
+        ):
+            extra = ["--out", "x.txt"] if command == "make-trace" else []
+            args = build_parser().parse_args([
+                command, *extra, "--trace", "t.json", "--metrics", "m.json",
+                "--profile", "--trace-dir", "traces",
+            ])
+            assert args.trace == "t.json", command
+            assert args.metrics == "m.json", command
+            assert args.profile is True, command
+            assert args.trace_dir == "traces", command
+
+    def test_flags_default_off(self):
+        args = build_parser().parse_args(["delay-timer"])
+        assert args.trace is None and args.metrics is None
+        assert args.profile is False and args.trace_dir is None
+        assert args.trace_categories is None
+
+    def test_trace_categories_validated(self):
+        args = build_parser().parse_args(
+            ["delay-timer", "--trace", "t.json",
+             "--trace-categories", "power", "task"]
+        )
+        assert args.trace_categories == ["power", "task"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["delay-timer", "--trace-categories", "bogus"]
+            )
+
+    def test_provisioning_arrival_trace_renamed(self):
+        # --trace on provisioning now means the telemetry trace; the arrival
+        # trace file moved to --arrival-trace.
+        args = build_parser().parse_args(
+            ["provisioning", "--arrival-trace", "arrivals.txt"]
+        )
+        assert args.arrival_trace == "arrivals.txt"
+        assert args.trace is None
+
+
+class TestObservabilityExecution:
+    _TINY = [
+        "delay-timer", "--taus", "0", "0.1", "--utilizations", "0.3",
+        "--servers", "2", "--duration", "2",
+    ]
+
+    def test_trace_export_is_valid_and_jobs_invariant(self, capsys, tmp_path):
+        from repro.telemetry import validate_chrome_trace
+
+        paths = []
+        for jobs, name in ((1, "t1.json"), (2, "t2.json")):
+            path = tmp_path / name
+            main(self._TINY + ["--jobs", str(jobs), "--trace", str(path)])
+            capsys.readouterr()
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+        import json
+
+        doc = json.loads(paths[0].read_text())
+        assert validate_chrome_trace(doc) == []
+        tracks = {
+            (ev["pid"], ev["tid"]) for ev in doc["traceEvents"]
+            if ev["ph"] in ("X", "i")
+        }
+        assert tracks  # power/task tracks materialised
+        names = {ev["name"] for ev in doc["traceEvents"] if ev["ph"] == "M"}
+        assert {"process_name", "thread_name"} <= names
+
+    def test_metrics_export_json_and_csv(self, capsys, tmp_path):
+        import csv
+        import json
+
+        json_path = tmp_path / "m.json"
+        main(self._TINY + ["--metrics", str(json_path)])
+        capsys.readouterr()
+        doc = json.loads(json_path.read_text())
+        assert doc["points"]  # one entry per sweep point
+        assert all("counters" in point for point in doc["points"])
+        csv_path = tmp_path / "m.csv"
+        main(self._TINY + ["--metrics", str(csv_path)])
+        capsys.readouterr()
+        rows = list(csv.reader(csv_path.open()))
+        assert rows[0] == ["label", "kind", "metric", "value"]
+        assert len(rows) > 1
+
+    def test_profile_prints_hot_handler_table(self, capsys):
+        main(self._TINY + ["--profile"])
+        out = capsys.readouterr().out
+        assert "event-loop profile" in out
+        assert "handler" in out
