@@ -40,6 +40,7 @@ from repro.runner import SweepInterrupted, SweepOptions
 from repro.experiments import (
     adaptive,
     delay_timer,
+    facility_carbon,
     fault_resilience,
     joint_energy,
     provisioning,
@@ -304,6 +305,24 @@ def _cmd_faults(args: argparse.Namespace) -> None:
     print(sweep.render())
 
 
+def _cmd_facility_carbon(args: argparse.Namespace) -> None:
+    sweep = facility_carbon.run_facility_carbon_sweep(
+        setpoints_c=args.setpoints,
+        carbon_profiles=args.carbon,
+        n_servers=args.servers,
+        n_cores=args.cores,
+        n_zones=args.zones,
+        utilization=args.utilization,
+        duration_s=args.duration,
+        thermal_limit_c=args.thermal_limit,
+        seed=args.seed,
+        jobs=args.jobs,
+        sweep_options=_sweep_options(args),
+        audit=_audit_mode(args),
+    )
+    print(sweep.render())
+
+
 def _cmd_scalability(args: argparse.Namespace) -> None:
     if args.sizes:
         sweep = scalability.run_scalability_sweep(
@@ -391,7 +410,8 @@ def build_parser() -> argparse.ArgumentParser:
         )
         observability.add_argument(
             "--trace-categories", nargs="+", metavar="CAT", default=None,
-            choices=["task", "power", "net", "sched", "fault", "job"],
+            choices=["task", "power", "net", "sched", "fault", "job",
+                     "facility"],
             help="restrict tracing to these event categories (default: all)",
         )
         observability.add_argument(
@@ -492,6 +512,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="count jobs slower than this latency (s) as SLO violations")
     common(p)
     p.set_defaults(fn=_cmd_faults)
+
+    p = sub.add_parser(
+        "facility-carbon",
+        help="facility co-sim: CRAC setpoint × carbon profile sweep",
+    )
+    from repro.facility.signals import CARBON_PROFILES
+    p.add_argument("--setpoints", type=float, nargs="+", metavar="C",
+                   default=list(facility_carbon.DEFAULT_SETPOINTS_C),
+                   help="CRAC supply setpoints to sweep (°C)")
+    p.add_argument("--carbon", nargs="+", metavar="PROFILE",
+                   default=list(facility_carbon.DEFAULT_CARBON_PROFILES),
+                   choices=list(CARBON_PROFILES),
+                   help="carbon-intensity profiles to sweep")
+    p.add_argument("--servers", type=int, default=8)
+    p.add_argument("--cores", type=int, default=2)
+    p.add_argument("--zones", type=int, default=2,
+                   help="thermal zones the farm is partitioned into")
+    p.add_argument("--utilization", type=float, default=0.6)
+    p.add_argument("--duration", type=float, default=40.0)
+    p.add_argument("--thermal-limit", type=float, default=45.0,
+                   help="zone temperature (°C) at which DVFS throttling engages")
+    common(p)
+    p.set_defaults(fn=_cmd_facility_carbon)
 
     p = sub.add_parser("scalability", help="Table I: >20K-server scalability")
     p.add_argument("--servers", type=int, default=20_480)

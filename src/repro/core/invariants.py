@@ -18,7 +18,11 @@ laws the model is built on:
   empty (or the engine was explicitly stopped); leftover events mean a
   component is still ticking after the experiment thinks it ended;
 * **availability bookkeeping** — fault trackers' failure/repair counts are
-  consistent with their current up/down state.
+  consistent with their current up/down state;
+* **facility physics** — when a :class:`~repro.facility.plant.Facility` is
+  attached: PUE never dips below 1, zone temperatures stay within their
+  configured physical bounds, facility energy accounts integrate their
+  declared powers, and throttle engage/release counts are consistent.
 
 Audits return an :class:`AuditReport`; in *strict* mode a violation raises
 :class:`InvariantError`, which the resilient sweep layer surfaces as a point
@@ -34,6 +38,7 @@ from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.engine import Engine
     from repro.core.stats import AvailabilityTracker
+    from repro.facility.plant import Facility
     from repro.scheduling.global_scheduler import GlobalScheduler
     from repro.server.server import Server
     from repro.workload.driver import WorkloadDriver
@@ -262,6 +267,89 @@ def audit_availability(
     return report
 
 
+def audit_facility(facility: "Facility", now: float) -> AuditReport:
+    """Facility physics: PUE floor, temperature bounds, energy integrals."""
+    report = AuditReport()
+
+    # Energy accounts: finite, non-negative, integrate their declared power.
+    accounts = (
+        facility.it_energy, facility.cooling_energy, facility.overhead_energy
+    )
+    for account in accounts:
+        energy = account.energy_j(now)
+        report.record(
+            "facility.energy-finite", f"facility.{account.name}",
+            math.isfinite(energy) and energy >= -ABS_TOL,
+            f"energy is {energy!r} J",
+        )
+        marginal = account.energy_j(now + 1.0) - account.energy_j(now)
+        report.record(
+            "facility.energy-integral", f"facility.{account.name}",
+            _close(marginal, account.power_w,
+                   scale=max(abs(account.power_w), 1.0)),
+            f"energy grew {marginal:.9g} J over 1 s at a declared draw "
+            f"of {account.power_w:.9g} W",
+        )
+    total = facility.facility_energy_j(now)
+    breakdown_sum = sum(facility.energy_breakdown_j(now).values())
+    report.record(
+        "facility.energy-breakdown-sum", "facility",
+        _close(total, breakdown_sum, scale=max(total, 1.0)),
+        f"facility energy {total:.9g} J != sum of components "
+        f"{breakdown_sum:.9g} J",
+    )
+
+    # PUE is facility power over IT power: >= 1 by construction, so any
+    # sample below 1 means the power bookkeeping double-counted or dropped
+    # a term.
+    pue_values = list(facility.pue_series.values)
+    bad_pue = [v for v in pue_values if not (math.isfinite(v) and v >= 1.0 - ABS_TOL)]
+    report.record(
+        "facility.pue-floor", "facility",
+        not bad_pue,
+        f"{len(bad_pue)}/{len(pue_values)} PUE samples below 1 "
+        f"(worst {min(bad_pue):.9g})" if bad_pue else "",
+    )
+
+    # Zone temperatures within the configured physical envelope.
+    for zone in facility.zones:
+        cfg = zone.thermal.config
+        temps = list(zone.temp_series.values) or [zone.thermal.temp_c]
+        bad = [
+            t for t in temps
+            if not (math.isfinite(t)
+                    and cfg.min_physical_c - ABS_TOL <= t
+                    <= cfg.max_physical_c + ABS_TOL)
+        ]
+        report.record(
+            "facility.temperature-bounds", f"facility.{zone.name}",
+            not bad,
+            f"{len(bad)}/{len(temps)} samples outside "
+            f"[{cfg.min_physical_c}, {cfg.max_physical_c}] °C "
+            f"(e.g. {bad[0]!r})" if bad else "",
+        )
+        throttle = zone.throttle
+        if throttle is not None:
+            expected_gap = 1 if throttle.engaged else 0
+            report.record(
+                "facility.throttle-transitions", f"facility.{zone.name}",
+                throttle.engagements - throttle.releases == expected_gap,
+                f"{throttle.engagements} engagements vs {throttle.releases} "
+                f"releases while "
+                f"{'engaged' if throttle.engaged else 'released'}",
+            )
+
+    # Accumulated signal integrals are money/mass: finite and non-negative.
+    for name, value in (("gco2_g", facility.gco2_g),
+                        ("cost_usd", facility.cost_usd)):
+        report.record(
+            "facility.signal-totals", f"facility.{name}",
+            math.isfinite(value) and value >= -ABS_TOL,
+            f"{name} is {value!r}",
+        )
+    return report
+
+
 # ----------------------------------------------------------------------
 # Bundles
 # ----------------------------------------------------------------------
@@ -273,6 +361,7 @@ def audit_run(
     availability: Iterable["AvailabilityTracker"] = (),
     now: Optional[float] = None,
     expect_drained: bool = False,
+    facility: Optional["Facility"] = None,
 ) -> AuditReport:
     """Run every applicable audit over one simulation's components."""
     t = engine.now if now is None else now
@@ -286,6 +375,8 @@ def audit_run(
     availability = list(availability)
     if availability:
         report.merge(audit_availability(availability, t))
+    if facility is not None:
+        report.merge(audit_facility(facility, t))
     return report
 
 
@@ -295,6 +386,7 @@ def audit_farm(
     availability: Iterable["AvailabilityTracker"] = (),
     now: Optional[float] = None,
     expect_drained: bool = False,
+    facility: Optional["Facility"] = None,
 ) -> AuditReport:
     """Audit an :class:`~repro.experiments.common.Farm` after a run."""
     return audit_run(
@@ -305,4 +397,5 @@ def audit_farm(
         availability=availability,
         now=now,
         expect_drained=expect_drained,
+        facility=facility,
     )

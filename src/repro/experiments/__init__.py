@@ -17,12 +17,14 @@ scaled-down parameters.
 | ``validation_server`` | Fig. 12 (server power trace vs physical)     |
 | ``validation_switch`` | Fig. 13/14 (switch power trace vs physical)  |
 | ``fault_resilience``  | extension: availability vs server MTBF sweep |
+| ``facility_carbon``   | extension: setpoint × carbon facility sweep  |
 """
 
 from repro.experiments import (
     adaptive,
     delay_timer,
     dual_timer,
+    facility_carbon,
     fault_resilience,
     joint_energy,
     provisioning,
@@ -35,6 +37,7 @@ __all__ = [
     "adaptive",
     "delay_timer",
     "dual_timer",
+    "facility_carbon",
     "fault_resilience",
     "joint_energy",
     "provisioning",

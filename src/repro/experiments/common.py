@@ -155,6 +155,7 @@ def audit_farm(
     driver: Optional[WorkloadDriver] = None,
     audit: str = "warn",
     availability=(),
+    facility=None,
 ) -> Optional[AuditReport]:
     """Run conservation audits over a farm after its simulation ended.
 
@@ -173,6 +174,7 @@ def audit_farm(
         scheduler=farm.scheduler,
         driver=driver,
         availability=availability,
+        facility=facility,
     )
     if not report.ok:
         if audit == "strict":

@@ -1,0 +1,44 @@
+"""Facility co-simulation: thermal zones, cooling/PUE, carbon and price.
+
+HolDCSim's holistic claim covers the physical plant, not only the IT: the
+facility layer closes the loop between server power and the building that
+hosts it.  Zone temperatures follow a lumped-RC model driven by live IT
+power (:mod:`repro.facility.thermal`), a CRAC/chiller model converts the
+extracted heat into electric cooling power and a dynamic PUE
+(:mod:`repro.facility.cooling`), over-temperature zones throttle their
+servers' DVFS (:mod:`repro.facility.throttle`), and piecewise carbon/price
+signals (:mod:`repro.facility.signals`) turn facility energy into gCO2 and
+cost.  :class:`~repro.facility.plant.Facility` ties it together on a fixed
+engine tick.
+"""
+
+from repro.facility.cooling import CoolingConfig, CoolingModel
+from repro.facility.plant import Facility, FacilityConfig, FacilityZone
+from repro.facility.signals import (
+    CARBON_PROFILES,
+    PRICE_PROFILES,
+    Signal,
+    carbon_profile,
+    outside_temperature_profile,
+    price_profile,
+)
+from repro.facility.thermal import ThermalConfig, ThermalZone
+from repro.facility.throttle import ThermalThrottle, ThrottleConfig
+
+__all__ = [
+    "CARBON_PROFILES",
+    "PRICE_PROFILES",
+    "CoolingConfig",
+    "CoolingModel",
+    "Facility",
+    "FacilityConfig",
+    "FacilityZone",
+    "Signal",
+    "ThermalConfig",
+    "ThermalThrottle",
+    "ThermalZone",
+    "ThrottleConfig",
+    "carbon_profile",
+    "outside_temperature_profile",
+    "price_profile",
+]

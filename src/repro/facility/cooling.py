@@ -1,0 +1,92 @@
+"""CRAC/chiller cooling power and dynamic PUE.
+
+The cooling plant removes the heat the zones reject (see
+:mod:`repro.facility.thermal`) at a coefficient of performance that depends
+on the operating point: raising the supply setpoint improves COP (warmer
+chilled water), hotter outside air degrades it (harder condenser lift).
+The affine model
+
+    COP(T_set, T_out) = clamp(cop_ref
+                              + cop_per_setpoint_k · (T_set − ref_setpoint)
+                              − cop_per_outside_k · (T_out − ref_outside),
+                              ≥ cop_min)
+
+is the standard first-order fit used by facility co-simulators; electric
+cooling power is ``heat / COP`` plus a constant fan draw.  Non-cooling
+overhead (UPS and distribution losses, lighting) is an affine function of IT
+power, so
+
+    PUE(t) = (P_it + P_cooling + P_overhead) / P_it
+
+is ≥ 1 **by construction** (every term added to IT power is non-negative) —
+which is exactly what the ``facility.pue-floor`` invariant audits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ConfigMixin
+
+__all__ = ["CoolingConfig", "CoolingModel"]
+
+
+@dataclass(frozen=True)
+class CoolingConfig(ConfigMixin):
+    """Cooling-plant and overhead parameters."""
+
+    cop_ref: float = 4.0
+    reference_setpoint_c: float = 22.0
+    cop_per_setpoint_k: float = 0.15
+    reference_outside_c: float = 20.0
+    cop_per_outside_k: float = 0.08
+    cop_min: float = 1.0
+    fan_w: float = 150.0
+    #: Non-cooling facility overhead: ``overhead_fraction · P_it + overhead_w``.
+    overhead_fraction: float = 0.08
+    overhead_w: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.cop_ref <= 0 or self.cop_min <= 0:
+            raise ValueError(
+                f"COPs must be positive (ref={self.cop_ref}, min={self.cop_min})"
+            )
+        for name in ("cop_per_setpoint_k", "cop_per_outside_k", "fan_w",
+                     "overhead_fraction", "overhead_w"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+
+
+class CoolingModel:
+    """Maps extracted heat + operating point to electric facility power."""
+
+    def __init__(self, config: CoolingConfig):
+        self.config = config
+
+    def cop(self, setpoint_c: float, outside_c: float) -> float:
+        cfg = self.config
+        cop = (
+            cfg.cop_ref
+            + cfg.cop_per_setpoint_k * (setpoint_c - cfg.reference_setpoint_c)
+            - cfg.cop_per_outside_k * (outside_c - cfg.reference_outside_c)
+        )
+        return max(cfg.cop_min, cop)
+
+    def cooling_power_w(
+        self, heat_w: float, setpoint_c: float, outside_c: float
+    ) -> float:
+        """Electric power drawn to remove ``heat_w`` of zone heat."""
+        return max(0.0, heat_w) / self.cop(setpoint_c, outside_c) + self.config.fan_w
+
+    def overhead_power_w(self, it_power_w: float) -> float:
+        """Non-cooling facility overhead (distribution losses, lighting)."""
+        cfg = self.config
+        return cfg.overhead_fraction * max(0.0, it_power_w) + cfg.overhead_w
+
+    @staticmethod
+    def pue(it_w: float, cooling_w: float, overhead_w: float) -> float:
+        """Instantaneous PUE; IT power must be positive to be defined."""
+        if it_w <= 0:
+            raise ValueError(f"PUE undefined at IT power {it_w} W")
+        return (it_w + cooling_w + overhead_w) / it_w

@@ -1,0 +1,327 @@
+"""Piecewise time-varying facility signals: carbon intensity, price, weather.
+
+The facility layer integrates its power draw against external time series —
+grid carbon intensity (gCO2/kWh), electricity price ($/kWh), and outside air
+temperature (°C for the chiller COP).  :class:`Signal` represents one such
+series as a piecewise function of simulation time with **exact** integration:
+facility power is piecewise-constant between facility ticks, so
+
+    grams = P_w × ∫ carbon(t) dt / 3.6e6
+
+is exact per tick, never a sampling approximation.  Signals load from JSON or
+CSV files, and :func:`carbon_profile` / :func:`price_profile` /
+:func:`outside_temperature_profile` provide synthetic diurnal shapes whose
+period is a parameter — experiments compress a "day" into their simulated
+horizon so a 40-second run still sees a full cycle.
+
+Signals are pure functions of time (no RNG, no mutable state), which is what
+keeps facility metrics bit-identical across ``--jobs N`` and ``--resume``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import csv
+import json
+import math
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Signal",
+    "CARBON_PROFILES",
+    "PRICE_PROFILES",
+    "carbon_profile",
+    "price_profile",
+    "outside_temperature_profile",
+]
+
+#: Joules per kilowatt-hour; converts ``W × (per-kWh signal × s)`` to totals.
+J_PER_KWH = 3.6e6
+
+
+class Signal:
+    """A piecewise signal over simulation time with exact integrals.
+
+    Args:
+        points: ``(time_s, value)`` pairs with strictly increasing,
+            non-negative times.
+        mode: ``"step"`` holds each value until the next point;
+            ``"linear"`` interpolates between points.
+        period_s: when set, the signal repeats with this period.  Periodic
+            signals must start at ``t=0`` (no seam ambiguity); in linear mode
+            the last point interpolates back to the first across the seam.
+        name / units: metadata carried through JSON round-trips.
+
+    Outside the defined points an aperiodic signal holds its boundary value
+    (first value before the first point, last value after the last).
+    """
+
+    MODES = ("step", "linear")
+
+    def __init__(
+        self,
+        points: Sequence[Tuple[float, float]],
+        mode: str = "step",
+        period_s: Optional[float] = None,
+        name: str = "signal",
+        units: str = "",
+    ):
+        if mode not in self.MODES:
+            raise ValueError(f"mode {mode!r} not in {self.MODES}")
+        if not points:
+            raise ValueError("signal needs at least one point")
+        times = [float(t) for t, _ in points]
+        values = [float(v) for _, v in points]
+        for t, v in zip(times, values):
+            if not (math.isfinite(t) and math.isfinite(v)):
+                raise ValueError(f"non-finite signal point ({t!r}, {v!r})")
+        if times[0] < 0.0:
+            raise ValueError(f"signal times must be >= 0, got {times[0]}")
+        for earlier, later in zip(times, times[1:]):
+            if later <= earlier:
+                raise ValueError(
+                    f"signal times must be strictly increasing "
+                    f"({earlier} then {later})"
+                )
+        if period_s is not None:
+            if period_s <= times[-1]:
+                raise ValueError(
+                    f"period {period_s} must exceed the last point time "
+                    f"{times[-1]}"
+                )
+            if times[0] != 0.0:
+                raise ValueError(
+                    f"periodic signals must start at t=0, got {times[0]}"
+                )
+        self.name = name
+        self.units = units
+        self.mode = mode
+        self.period_s = period_s
+        self._times = times
+        self._values = values
+        # Cumulative ∫ from t=0 up to each point time (exact per segment).
+        cum: List[float] = [times[0] * values[0]]  # constant hold before t0
+        for i in range(1, len(times)):
+            dt = times[i] - times[i - 1]
+            if mode == "step":
+                segment = values[i - 1] * dt
+            else:
+                segment = 0.5 * (values[i - 1] + values[i]) * dt
+            cum.append(cum[-1] + segment)
+        self._cum = cum
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(cls, value: float, name: str = "constant", units: str = "") -> "Signal":
+        return cls([(0.0, value)], mode="step", name=name, units=units)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        period = f" period={self.period_s:g}s" if self.period_s else ""
+        return (
+            f"<Signal {self.name!r} {self.mode} {len(self._times)} points{period}>"
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def value(self, t: float) -> float:
+        """The signal's value at simulation time ``t`` (>= 0)."""
+        if t < 0.0:
+            raise ValueError(f"signal time must be >= 0, got {t}")
+        if self.period_s is not None:
+            t = math.fmod(t, self.period_s)
+        return self._value_within(t)
+
+    def _value_within(self, t: float) -> float:
+        """Value at ``t``, already reduced to one period (if periodic)."""
+        times, values = self._times, self._values
+        i = bisect.bisect_right(times, t) - 1
+        if i < 0:
+            return values[0]  # aperiodic hold-back (periodic starts at 0)
+        if self.mode == "step":
+            return values[i]
+        if i == len(times) - 1:
+            if self.period_s is None:
+                return values[-1]
+            # Linear seam: interpolate last point -> (period, first value).
+            span = self.period_s - times[-1]
+            frac = (t - times[-1]) / span
+            return values[-1] + (values[0] - values[-1]) * frac
+        span = times[i + 1] - times[i]
+        frac = (t - times[i]) / span
+        return values[i] + (values[i + 1] - values[i]) * frac
+
+    def _integral_from_zero(self, t: float) -> float:
+        """Exact ∫₀ᵗ signal dτ for ``t`` within one period (or any t if aperiodic)."""
+        times, values, cum = self._times, self._values, self._cum
+        i = bisect.bisect_right(times, t) - 1
+        if i < 0:
+            return t * values[0]
+        dt = t - times[i]
+        if dt == 0.0:
+            return cum[i]
+        if self.mode == "step":
+            return cum[i] + values[i] * dt
+        # Linear: trapezoid from point i to the interpolated value at t.
+        return cum[i] + 0.5 * (values[i] + self._value_within(t)) * dt
+
+    def _period_integral(self) -> float:
+        """∫ over one full period (periodic signals only)."""
+        assert self.period_s is not None
+        times, values, cum = self._times, self._values, self._cum
+        tail = self.period_s - times[-1]
+        if self.mode == "step":
+            return cum[-1] + values[-1] * tail
+        return cum[-1] + 0.5 * (values[-1] + values[0]) * tail
+
+    def integrate(self, t0: float, t1: float) -> float:
+        """Exact ∫ from ``t0`` to ``t1`` (both >= 0, ``t1 >= t0``)."""
+        if t1 < t0:
+            raise ValueError(f"integration bounds reversed: [{t0}, {t1}]")
+        if t0 < 0.0:
+            raise ValueError(f"integration start must be >= 0, got {t0}")
+        if self.period_s is None:
+            return self._integral_from_zero(t1) - self._integral_from_zero(t0)
+        period = self.period_s
+        full = self._period_integral()
+        n0, r0 = divmod(t0, period)
+        n1, r1 = divmod(t1, period)
+        return (
+            (n1 - n0) * full
+            + self._integral_from_zero(r1)
+            - self._integral_from_zero(r0)
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "units": self.units,
+            "mode": self.mode,
+            "period_s": self.period_s,
+            "points": [[t, v] for t, v in zip(self._times, self._values)],
+        }
+
+    def to_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Signal":
+        return cls(
+            [(float(t), float(v)) for t, v in doc["points"]],
+            mode=doc.get("mode", "step"),
+            period_s=doc.get("period_s"),
+            name=doc.get("name", "signal"),
+            units=doc.get("units", ""),
+        )
+
+    @classmethod
+    def from_json(cls, path: str) -> "Signal":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+    @classmethod
+    def from_csv(
+        cls,
+        path: str,
+        mode: str = "step",
+        period_s: Optional[float] = None,
+        name: Optional[str] = None,
+        units: str = "",
+    ) -> "Signal":
+        """Load ``time_s,value`` rows; a non-numeric first row is a header."""
+        points: List[Tuple[float, float]] = []
+        with open(path, newline="") as fh:
+            for row in csv.reader(fh):
+                if not row or not row[0].strip():
+                    continue
+                try:
+                    points.append((float(row[0]), float(row[1])))
+                except (ValueError, IndexError):
+                    if points:
+                        raise ValueError(f"{path}: bad signal row {row!r}") from None
+                    continue  # header row
+        return cls(points, mode=mode, period_s=period_s,
+                   name=name or path, units=units)
+
+
+# ----------------------------------------------------------------------
+# Synthetic diurnal profiles
+# ----------------------------------------------------------------------
+def _diurnal(
+    fractions_values: Sequence[Tuple[float, float]],
+    period_s: float,
+    name: str,
+    units: str,
+    scale: float = 1.0,
+) -> Signal:
+    """Build a periodic linear signal from (fraction-of-period, value) pairs."""
+    points = [(frac * period_s, value * scale) for frac, value in fractions_values]
+    return Signal(points, mode="linear", period_s=period_s, name=name, units=units)
+
+
+#: Synthetic grid carbon-intensity shapes (gCO2/kWh over one period).
+#: "flat" is a constant baseline; "solar" dips mid-period as renewables ramp;
+#: "evening-peak" climbs toward a gas-fired evening maximum.
+CARBON_PROFILES = ("flat", "solar", "evening-peak")
+
+#: Synthetic electricity price shapes ($/kWh over one period).
+PRICE_PROFILES = ("flat", "time-of-use")
+
+
+def carbon_profile(name: str, period_s: float = 86_400.0, scale: float = 1.0) -> Signal:
+    """A named synthetic carbon-intensity signal (see :data:`CARBON_PROFILES`)."""
+    if name == "flat":
+        return Signal.constant(400.0 * scale, name="carbon-flat", units="gCO2/kWh")
+    if name == "solar":
+        return _diurnal(
+            [(0.0, 450.0), (0.25, 380.0), (0.45, 120.0), (0.60, 140.0),
+             (0.75, 420.0), (0.90, 470.0)],
+            period_s, "carbon-solar", "gCO2/kWh", scale,
+        )
+    if name == "evening-peak":
+        return _diurnal(
+            [(0.0, 340.0), (0.30, 310.0), (0.60, 380.0), (0.78, 600.0),
+             (0.90, 450.0)],
+            period_s, "carbon-evening-peak", "gCO2/kWh", scale,
+        )
+    raise ValueError(f"unknown carbon profile {name!r}; choose from {CARBON_PROFILES}")
+
+
+def price_profile(name: str, period_s: float = 86_400.0, scale: float = 1.0) -> Signal:
+    """A named synthetic electricity-price signal (see :data:`PRICE_PROFILES`)."""
+    if name == "flat":
+        return Signal.constant(0.10 * scale, name="price-flat", units="$/kWh")
+    if name == "time-of-use":
+        # Step tariff: off-peak 0.06, shoulder 0.11, peak 0.18 (last fifth).
+        points = [(0.0, 0.06), (0.35 * period_s, 0.11),
+                  (0.65 * period_s, 0.18), (0.90 * period_s, 0.08)]
+        return Signal([(t, v * scale) for t, v in points], mode="step",
+                      period_s=period_s, name="price-time-of-use", units="$/kWh")
+    raise ValueError(f"unknown price profile {name!r}; choose from {PRICE_PROFILES}")
+
+
+def outside_temperature_profile(
+    mean_c: float = 20.0,
+    swing_c: float = 8.0,
+    period_s: float = 86_400.0,
+    warmest_fraction: float = 0.625,  # mid-afternoon on a 24h period
+) -> Signal:
+    """A diurnal outside-air temperature for the chiller COP model."""
+    coolest = (warmest_fraction + 0.5) % 1.0
+    pairs = sorted([
+        (coolest, mean_c - swing_c),
+        (warmest_fraction, mean_c + swing_c),
+    ])
+    # Anchor t=0 with the interpolated phase value so the seam is smooth.
+    phase = 2.0 * math.pi * (0.0 - warmest_fraction)
+    at_zero = mean_c + swing_c * math.cos(phase)
+    points = [(0.0, at_zero)] + [
+        (frac * period_s, value) for frac, value in pairs if frac > 0.0
+    ]
+    return Signal(points, mode="linear", period_s=period_s,
+                  name="outside-diurnal", units="C")

@@ -1,0 +1,137 @@
+"""Lumped-RC rack/zone thermal model.
+
+Each facility zone is one thermal node: the zone air (plus the racks in it)
+has heat capacity ``C`` [J/K] and rejects heat to the CRAC supply air at
+temperature ``T_s`` through thermal resistance ``R`` [K/W].  A hot-aisle
+recirculation fraction ``r`` models the short-circuit airflow that returns a
+share of the zone's own exhaust to the rack inlets instead of cooled supply
+air — the classic containment failure mode.  The energy balance is
+
+    C · dT/dt = P_it − (1 − r) · (T − T_s) / R
+
+which is linear, so every facility tick advances the state **exactly**:
+
+    T(t + dt) = T_ss + (T(t) − T_ss) · exp(−dt / τ)
+
+with steady state ``T_ss = T_s + P_it · R / (1 − r)`` and time constant
+``τ = R · C / (1 − r)``.  No per-tick integration error accumulates, and the
+update is a closed-form function of the inputs — which keeps the facility
+layer bit-identical across worker counts and resume (see the determinism
+contract in :mod:`repro.telemetry.trace`).
+
+The closed-form pieces (:meth:`ThermalZone.steady_state_c`,
+:attr:`ThermalZone.time_constant_s`) are public so tests can check the step
+response against the analytic solution rather than against the code itself.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import ConfigMixin
+
+__all__ = ["ThermalConfig", "ThermalZone"]
+
+
+@dataclass(frozen=True)
+class ThermalConfig(ConfigMixin):
+    """Lumped-RC parameters for one zone.
+
+    The defaults give a deliberately fast time constant (τ ≈ 4.4 s at the
+    default recirculation) so short experiment runs reach thermal steady
+    state; a real containment pod is closer to minutes — scale
+    ``heat_capacity_j_per_k`` up for realistic transients.
+    """
+
+    heat_capacity_j_per_k: float = 80.0
+    thermal_resistance_k_per_w: float = 0.05
+    recirculation_fraction: float = 0.10
+    #: Physical sanity bounds audited by ``repro.core.invariants``.
+    min_physical_c: float = -40.0
+    max_physical_c: float = 150.0
+
+    def __post_init__(self) -> None:
+        if self.heat_capacity_j_per_k <= 0:
+            raise ValueError(
+                f"heat capacity must be positive, got {self.heat_capacity_j_per_k}"
+            )
+        if self.thermal_resistance_k_per_w <= 0:
+            raise ValueError(
+                f"thermal resistance must be positive, "
+                f"got {self.thermal_resistance_k_per_w}"
+            )
+        if not 0.0 <= self.recirculation_fraction < 1.0:
+            raise ValueError(
+                f"recirculation fraction {self.recirculation_fraction} "
+                f"outside [0, 1)"
+            )
+        if self.min_physical_c >= self.max_physical_c:
+            raise ValueError(
+                f"physical bounds reversed: [{self.min_physical_c}, "
+                f"{self.max_physical_c}]"
+            )
+
+
+class ThermalZone:
+    """One zone's thermal state, advanced exactly between facility ticks."""
+
+    def __init__(self, config: ThermalConfig, supply_c: float,
+                 initial_temp_c: Optional[float] = None):
+        self.config = config
+        self.supply_c = float(supply_c)
+        # Default to the zero-load steady state (zone air at supply temp).
+        self.temp_c = float(supply_c if initial_temp_c is None else initial_temp_c)
+
+    # ------------------------------------------------------------------
+    # Closed-form characteristics (also the test oracle)
+    # ------------------------------------------------------------------
+    @property
+    def time_constant_s(self) -> float:
+        """τ = R·C / (1 − r)."""
+        cfg = self.config
+        return (
+            cfg.thermal_resistance_k_per_w * cfg.heat_capacity_j_per_k
+            / (1.0 - cfg.recirculation_fraction)
+        )
+
+    def steady_state_c(self, p_it_w: float) -> float:
+        """T_ss = T_s + P·R / (1 − r) for a constant IT power ``p_it_w``."""
+        cfg = self.config
+        return self.supply_c + (
+            p_it_w * cfg.thermal_resistance_k_per_w
+            / (1.0 - cfg.recirculation_fraction)
+        )
+
+    @property
+    def inlet_c(self) -> float:
+        """Rack inlet temperature: supply air diluted by recirculated exhaust."""
+        r = self.config.recirculation_fraction
+        return (1.0 - r) * self.supply_c + r * self.temp_c
+
+    def extraction_w(self) -> float:
+        """Heat currently rejected to the CRAC (never negative: no free heating)."""
+        cfg = self.config
+        flow = (
+            (1.0 - cfg.recirculation_fraction)
+            * (self.temp_c - self.supply_c)
+            / cfg.thermal_resistance_k_per_w
+        )
+        return max(0.0, flow)
+
+    # ------------------------------------------------------------------
+    def advance(self, dt_s: float, p_it_w: float) -> float:
+        """Advance the zone temperature by ``dt_s`` under constant ``p_it_w``.
+
+        Exact exponential update of the linear RC system; returns the new
+        zone temperature.
+        """
+        if dt_s < 0:
+            raise ValueError(f"dt must be >= 0, got {dt_s}")
+        if dt_s == 0.0:
+            return self.temp_c
+        t_ss = self.steady_state_c(p_it_w)
+        decay = math.exp(-dt_s / self.time_constant_s)
+        self.temp_c = t_ss + (self.temp_c - t_ss) * decay
+        return self.temp_c

@@ -10,6 +10,13 @@ ladder.
 The governor composes with any sleep-state controller (it only touches
 frequency), so SleepScale-style joint speed-scaling + sleep studies are a
 matter of attaching both.
+
+The facility layer's thermal throttle (:mod:`repro.facility.throttle`)
+interacts through **frequency caps**: :meth:`DvfsGovernor.set_frequency_cap`
+clamps a server's usable ladder from above, and the next tick steps any
+processor running over the cap straight down to it.  Caps compose with the
+ondemand policy — the governor still scales within the clamped ladder — so
+thermal limits and utilisation control coexist without fighting.
 """
 
 from __future__ import annotations
@@ -55,6 +62,8 @@ class DvfsGovernor:
         self.interval_s = interval_s
         self.steps_up = 0
         self.steps_down = 0
+        #: Per-server frequency ceiling (GHz), set by thermal throttling.
+        self.frequency_caps: Dict[int, float] = {}
         self._started = False
 
     def start(self) -> None:
@@ -64,12 +73,43 @@ class DvfsGovernor:
         self._started = True
         self.engine.post(self.interval_s, self._tick)
 
+    # -- frequency caps (thermal throttle interface) --------------------
+    def set_frequency_cap(self, server: "Server", max_frequency_ghz: float) -> None:
+        """Clamp ``server``'s usable ladder to rungs <= ``max_frequency_ghz``.
+
+        Takes effect at the next tick: processors over the cap step straight
+        down to the highest allowed rung (or the lowest rung when the cap
+        sits below the whole ladder).
+        """
+        if max_frequency_ghz <= 0:
+            raise ValueError(
+                f"frequency cap must be positive, got {max_frequency_ghz}"
+            )
+        self.frequency_caps[server.server_id] = max_frequency_ghz
+
+    def clear_frequency_cap(self, server: "Server") -> None:
+        """Remove ``server``'s cap; the ondemand policy ramps back on demand."""
+        self.frequency_caps.pop(server.server_id, None)
+
+    def _allowed_ladder(self, server: "Server", processor) -> List[float]:
+        ladder = sorted(processor.config.available_frequencies_ghz)
+        cap = self.frequency_caps.get(server.server_id)
+        if cap is None:
+            return ladder
+        allowed = [f for f in ladder if f <= cap]
+        return allowed if allowed else ladder[:1]
+
     def _tick(self) -> None:
         for server in self.servers:
             if not server.can_execute:
                 continue
             for processor in server.processors:
-                ladder = sorted(processor.config.available_frequencies_ghz)
+                ladder = self._allowed_ladder(server, processor)
+                if processor.frequency_ghz not in ladder:
+                    # Over a freshly applied cap: step straight down to it.
+                    processor.set_frequency(ladder[-1])
+                    self.steps_down += 1
+                    continue
                 if len(ladder) < 2:
                     continue
                 busy_fraction = processor.busy_core_count / len(processor.cores)

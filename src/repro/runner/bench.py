@@ -35,7 +35,7 @@ from repro.workload.profiles import (
     web_search_profile,
 )
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 
 def bench_engine_events(n_events: int = 200_000) -> float:
@@ -145,6 +145,50 @@ def bench_telemetry_overhead(n_events: int = 200_000) -> Dict[str, Any]:
         "events_per_s_hook_passthrough": round(passthrough),
         "events_per_s_profiled": round(profiled),
         "hook_overhead_pct": round((disabled - passthrough) / disabled * 100, 2),
+    }
+
+
+def bench_facility_overhead(n_jobs: int = 20_000) -> Dict[str, Any]:
+    """The facility co-simulation layer's cost on the farm hot path.
+
+    Runs the task-churn workload twice — without a facility (the committed
+    disabled-path rate, gated against the baseline: simulations that never
+    attach a facility must not pay for the layer's existence) and with one
+    ticking at 10 ms across the run — and reports the enabled tick overhead.
+    Rates are best-of-two to damp scheduler noise.
+    """
+    from repro.facility import Facility, FacilityConfig
+
+    def run_once(enabled: bool) -> Tuple[float, int]:
+        farm = build_farm(4, small_cloud_server(), policy=LeastLoadedPolicy(), seed=1)
+        rng = RandomSource(1)
+        factory = SingleTaskJobFactory(ExponentialService(0.005), rng.stream("s"))
+        facility = None
+        if enabled:
+            # Horizon just past the ~10 s the workload needs, so the tick
+            # chain covers the run but does not keep the queue alive after.
+            facility = Facility(
+                farm.engine, farm.servers, FacilityConfig(tick_s=0.01)
+            )
+            facility.start(until=12.0)
+        start = time.perf_counter()
+        drive(farm, PoissonProcess(2000.0, rng.stream("a")), factory,
+              max_jobs=n_jobs, drain=True)
+        elapsed = time.perf_counter() - start
+        ticks = 0
+        if facility is not None:
+            facility.stop()
+            ticks = facility.ticks
+        return farm.scheduler.jobs_completed / elapsed, ticks
+
+    disabled = max(run_once(False)[0], run_once(False)[0])
+    first = run_once(True)
+    enabled = max(first[0], run_once(True)[0])
+    return {
+        "jobs_per_s_disabled": round(disabled),
+        "jobs_per_s_enabled": round(enabled),
+        "ticks": first[1],
+        "tick_overhead_pct": round((disabled - enabled) / disabled * 100, 2),
     }
 
 
@@ -299,6 +343,11 @@ def run_bench(
         bench_task_churn(n_churn, traced=True)
     )
 
+    # Facility on/off: simulations that never attach the facility layer must
+    # not pay for it (the disabled rate is gated against the baseline), and
+    # the ticking plant should cost ~nothing next to task churn.
+    result["facility"] = bench_facility_overhead(n_churn)
+
     # The packet and routing benches stay full-size in quick mode for the
     # same comparability reason as the engine benches: at smaller query
     # counts the BFS table builds / queue warm-up dominate and the measured
@@ -354,6 +403,7 @@ def check_regression(
         ("engine", "schedule_cancel_per_s"),
         ("farm", "jobs_per_s"),
         ("telemetry", "events_per_s_hook_disabled"),
+        ("facility", "jobs_per_s_disabled"),
         ("network", "packets_per_s"),
         ("network", "fanout_transfers_per_s"),
         ("network", "routes_per_s"),
@@ -389,6 +439,12 @@ def render(result: Dict[str, Any]) -> str:
         )
         lines.append(
             f"  telemetry traced jobs/s:  {telem.get('jobs_per_s_traced', 0):>12,}"
+        )
+    facility = result.get("facility")
+    if facility:
+        lines.append(
+            f"  facility off jobs/s:      {facility.get('jobs_per_s_disabled', 0):>12,} "
+            f"(ticking: {facility.get('tick_overhead_pct', 0):+.1f}%)"
         )
     network = result.get("network")
     if network:

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import os
 import sys
 import time
 from collections import deque
@@ -725,6 +726,15 @@ def run_sweep_detailed(
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if options is None:
+        # Elastic workers: without an explicit resilience policy the pool
+        # exists purely for throughput, so never spawn more workers than the
+        # host has CPUs — on a 1-CPU host ``--jobs 4`` would pay the full
+        # spawn/pickle tax (the 0.666x sweep "speedup" in BENCH_core.json)
+        # for zero parallelism.  Callers passing SweepOptions keep exact
+        # pool semantics: timeouts/retry isolation need worker processes
+        # regardless of CPU count.
+        jobs = min(jobs, os.cpu_count() or 1)
     options = options or SweepOptions()
 
     # Telemetry: freeze the active session (and/or post-mortem trace_dir)
@@ -845,9 +855,11 @@ def run_sweep(
         spec: the sweep to run.
         jobs: worker processes.  ``1`` (the default) runs inline with zero
             multiprocessing overhead; ``N > 1`` uses a supervised spawn-pool
-            of ``min(jobs, len(spec))`` workers.  Results are identical
-            either way because each point's randomness is sealed in its
-            kwargs.
+            of ``min(jobs, len(spec))`` workers.  Without ``options`` the
+            worker count is additionally clamped to the host CPU count, so
+            over-subscribed requests (``--jobs 4`` on one CPU) skip the
+            spawn tax and run inline.  Results are identical either way
+            because each point's randomness is sealed in its kwargs.
         options: resilience policy (timeouts, retries, journal/resume,
             keep-going).  Without options, a failing point propagates its
             exception (inline) or raises :class:`SweepError` (pool), exactly

@@ -24,8 +24,9 @@ Track naming
 ------------
 The ``track`` string is hierarchical: the prefix selects the Perfetto
 *process* row (``server/`` → "servers", ``switch/``/``net/`` → "network",
-``sched`` → "scheduler", ``jobs`` → "jobs", ``fault/`` → "faults"), and the
-full string becomes the named *thread* track.
+``sched`` → "scheduler", ``jobs`` → "jobs", ``fault/`` → "faults",
+``facility/`` → "facility"), and the full string becomes the named *thread*
+track.
 """
 
 from __future__ import annotations
@@ -35,7 +36,7 @@ from collections import deque
 from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
 
 #: Event categories, in taxonomy order (see DESIGN.md).
-CATEGORIES = ("task", "power", "net", "sched", "fault", "job")
+CATEGORIES = ("task", "power", "net", "sched", "fault", "job", "facility")
 
 #: One recorded event: (ts_s, cat, name, ph, track, dur_s, id, args).
 Event = Tuple[float, str, str, str, str, float, Optional[int], Optional[dict]]
@@ -54,6 +55,7 @@ _TRACK_PROCESSES = (
     ("sched", "scheduler"),
     ("jobs", "jobs"),
     ("fault/", "faults"),
+    ("facility/", "facility"),
 )
 
 #: Fixed pid offsets per process name so track layout is stable across runs.
@@ -64,6 +66,7 @@ _PROCESS_IDS = {
     "jobs": 4,
     "faults": 5,
     "sim": 6,
+    "facility": 7,
 }
 
 #: pid stride between sweep points in a merged multi-point trace.
@@ -165,6 +168,13 @@ class TraceRecorder:
     ) -> None:
         """Close the async span opened with the same ``(cat, name, eid)``."""
         self._emit((ts, cat, name, "e", track, 0.0, eid, args))
+
+    def counter(
+        self, cat: str, name: str, track: str, ts: float, values: dict
+    ) -> None:
+        """Sampled counter series (Chrome ``ph="C"``); one stacked chart per
+        ``(track, name)``, one series per key in ``values``."""
+        self._emit((ts, cat, name, "C", track, 0.0, None, values))
 
     def _emit(self, event: Event) -> None:
         self.emitted += 1

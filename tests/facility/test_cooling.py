@@ -1,0 +1,84 @@
+"""Tests for the cooling/COP/PUE model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.facility.cooling import CoolingConfig, CoolingModel
+
+
+CFG = CoolingConfig(
+    cop_ref=4.0,
+    reference_setpoint_c=22.0,
+    cop_per_setpoint_k=0.15,
+    reference_outside_c=20.0,
+    cop_per_outside_k=0.08,
+    cop_min=1.0,
+    fan_w=150.0,
+    overhead_fraction=0.08,
+    overhead_w=200.0,
+)
+
+
+class TestCop:
+    def test_reference_point(self):
+        model = CoolingModel(CFG)
+        assert model.cop(22.0, 20.0) == pytest.approx(4.0)
+
+    def test_warmer_setpoint_improves_cop(self):
+        model = CoolingModel(CFG)
+        assert model.cop(26.0, 20.0) == pytest.approx(4.0 + 0.15 * 4)
+
+    def test_hotter_outside_degrades_cop(self):
+        model = CoolingModel(CFG)
+        assert model.cop(22.0, 30.0) == pytest.approx(4.0 - 0.08 * 10)
+
+    def test_clamped_at_minimum(self):
+        model = CoolingModel(CFG)
+        assert model.cop(22.0, 1000.0) == CFG.cop_min
+
+
+class TestPower:
+    def test_cooling_power_is_heat_over_cop_plus_fans(self):
+        model = CoolingModel(CFG)
+        assert model.cooling_power_w(800.0, 22.0, 20.0) == pytest.approx(
+            800.0 / 4.0 + 150.0
+        )
+
+    def test_negative_heat_costs_only_fans(self):
+        model = CoolingModel(CFG)
+        assert model.cooling_power_w(-50.0, 22.0, 20.0) == pytest.approx(150.0)
+
+    def test_overhead_is_affine_in_it_power(self):
+        model = CoolingModel(CFG)
+        assert model.overhead_power_w(1000.0) == pytest.approx(0.08 * 1000 + 200)
+        assert model.overhead_power_w(-5.0) == pytest.approx(200.0)
+
+
+class TestPue:
+    def test_formula(self):
+        assert CoolingModel.pue(1000.0, 250.0, 280.0) == pytest.approx(1.53)
+
+    def test_always_at_least_one_for_nonnegative_components(self):
+        assert CoolingModel.pue(1.0, 0.0, 0.0) == 1.0
+
+    def test_undefined_without_it_power(self):
+        with pytest.raises(ValueError):
+            CoolingModel.pue(0.0, 100.0, 100.0)
+
+
+class TestConfigValidation:
+    def test_cops_positive(self):
+        with pytest.raises(ValueError):
+            CoolingConfig(cop_ref=0.0)
+        with pytest.raises(ValueError):
+            CoolingConfig(cop_min=-1.0)
+
+    def test_nonnegative_coefficients(self):
+        with pytest.raises(ValueError):
+            CoolingConfig(fan_w=-1.0)
+        with pytest.raises(ValueError):
+            CoolingConfig(overhead_fraction=-0.1)
+
+    def test_json_round_trip(self):
+        assert CoolingConfig.from_dict(CFG.to_dict()) == CFG

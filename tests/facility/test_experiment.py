@@ -1,0 +1,121 @@
+"""Tests for the facility_carbon experiment: physics outcomes + determinism.
+
+The determinism tests are the load-bearing ones: the facility layer's
+traces, metrics, and results must be byte-identical whether points ran
+inline, across pool workers, or through a journal resume — otherwise
+``--jobs``/``--resume`` silently change the science.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.facility_carbon import (
+    run_facility_carbon_point,
+    run_facility_carbon_sweep,
+)
+from repro.runner import SweepOptions, SweepSpec, run_sweep
+from repro.telemetry import session as telemetry
+
+FAST = dict(n_servers=4, n_cores=2, n_zones=2, utilization=0.3,
+            duration_s=4.0, audit="off")
+
+
+def _spec():
+    spec = SweepSpec("facility-carbon")
+    for setpoint, carbon in ((22.0, "solar"), (30.0, "evening-peak")):
+        spec.add(run_facility_carbon_point, setpoint_c=setpoint,
+                 carbon=carbon, **FAST)
+    return spec
+
+
+class TestPhysics:
+    def test_point_passes_strict_audit(self):
+        point = run_facility_carbon_point(
+            24.0, carbon="solar", n_servers=4, utilization=0.3,
+            duration_s=5.0, audit="strict",
+        )
+        assert point.jobs_completed > 0
+        assert point.facility_energy_j == pytest.approx(
+            point.it_energy_j + point.cooling_energy_j
+            + point.overhead_energy_j
+        )
+        assert point.mean_pue >= 1.0
+        assert point.gco2_g > 0.0 and point.cost_usd > 0.0
+
+    def test_raising_setpoint_cuts_cooling_energy(self):
+        cool = run_facility_carbon_point(22.0, duration_s=10.0, **{
+            k: v for k, v in FAST.items() if k != "duration_s"})
+        warm = run_facility_carbon_point(30.0, duration_s=10.0, **{
+            k: v for k, v in FAST.items() if k != "duration_s"})
+        assert warm.cooling_energy_j < cool.cooling_energy_j
+        assert warm.peak_zone_temp_c > cool.peak_zone_temp_c
+
+    def test_throttle_measurably_stretches_latency(self):
+        """Past the thermal limit the DVFS cap must show up in task latency —
+        the whole point of co-simulating the facility."""
+        baseline = run_facility_carbon_point(
+            22.0, duration_s=20.0, audit="strict")
+        throttled = run_facility_carbon_point(
+            30.0, duration_s=20.0, audit="strict")
+        assert baseline.throttle_engagements == 0
+        assert throttled.throttle_engagements >= 1
+        assert throttled.throttled_s > 0.0
+        assert throttled.mean_latency_s > 1.5 * baseline.mean_latency_s
+
+    def test_carbon_profile_changes_gco2_not_energy(self):
+        solar = run_facility_carbon_point(22.0, carbon="solar", **FAST)
+        evening = run_facility_carbon_point(22.0, carbon="evening-peak", **FAST)
+        assert solar.facility_energy_j == pytest.approx(
+            evening.facility_energy_j
+        )
+        assert solar.gco2_g != pytest.approx(evening.gco2_g)
+
+    def test_sweep_covers_grid(self):
+        sweep = run_facility_carbon_sweep(
+            setpoints_c=(22.0, 26.0), carbon_profiles=("flat",),
+            n_servers=4, utilization=0.3, duration_s=3.0, audit="off",
+        )
+        assert len(sweep.points) == 2
+        assert "PUE" in sweep.render()
+
+
+class TestDeterminism:
+    def test_pool_matches_inline_bit_identical(self):
+        """Results AND reassembled telemetry must match across jobs=1 and a
+        real worker pool (SweepOptions pins pool semantics on any host)."""
+        captures, results = [], []
+        for jobs, options in ((1, None), (2, SweepOptions())):
+            with telemetry.session(trace=True, metrics=True) as sess:
+                values = run_sweep(_spec(), jobs=jobs, options=options)
+            captures.append(json.dumps(sess.point_captures, sort_keys=True))
+            results.append(repr(values))
+        assert results[0] == results[1]
+        assert captures[0] == captures[1]
+
+    def test_resume_matches_uninterrupted(self, tmp_path):
+        journal_path = str(tmp_path / "sweep.journal")
+        partial = SweepSpec("facility-carbon")
+        partial.add(run_facility_carbon_point, setpoint_c=22.0,
+                    carbon="solar", **FAST)
+        with telemetry.session(trace=True, metrics=True) as first:
+            run_sweep(partial, options=SweepOptions(journal_path=journal_path))
+        with telemetry.session(trace=True, metrics=True) as resumed:
+            resumed_values = run_sweep(_spec(), options=SweepOptions(
+                journal_path=journal_path, resume=True))
+        with telemetry.session(trace=True, metrics=True) as baseline:
+            baseline_values = run_sweep(_spec())
+        assert repr(resumed_values) == repr(baseline_values)
+        assert first.point_captures == resumed.point_captures[:1]
+        assert json.dumps(resumed.point_captures, sort_keys=True) == (
+            json.dumps(baseline.point_captures, sort_keys=True)
+        )
+
+    def test_facility_trace_category_is_captured(self):
+        with telemetry.session(trace=True, metrics=True) as sess:
+            run_sweep(_spec())
+        label, payload = sess.point_captures[0]
+        cats = {ev[1] for ev in payload["events"]}
+        assert "facility" in cats

@@ -1,0 +1,191 @@
+"""Tests for piecewise facility signals.
+
+The integration tests compare against hand-computed piecewise integrals —
+the carbon/cost accounting in the plant multiplies these by power, so an
+off-by-a-segment here is silently wrong science there.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.facility.signals import (
+    CARBON_PROFILES,
+    PRICE_PROFILES,
+    Signal,
+    carbon_profile,
+    outside_temperature_profile,
+    price_profile,
+)
+
+
+class TestStepSignal:
+    def test_holds_value_until_next_point(self):
+        sig = Signal([(0.0, 2.0), (10.0, 4.0)], mode="step")
+        assert sig.value(0.0) == 2.0
+        assert sig.value(9.999) == 2.0
+        assert sig.value(10.0) == 4.0
+        assert sig.value(100.0) == 4.0
+
+    def test_holds_first_value_before_first_point(self):
+        sig = Signal([(5.0, 3.0)], mode="step")
+        assert sig.value(0.0) == 3.0
+        assert sig.value(4.9) == 3.0
+
+    def test_integral_hand_computed(self):
+        sig = Signal([(0.0, 2.0), (10.0, 4.0)], mode="step")
+        # 10 s at 2 plus 5 s at 4.
+        assert sig.integrate(0.0, 15.0) == pytest.approx(40.0)
+        # 5 s at 2 plus 2 s at 4.
+        assert sig.integrate(5.0, 12.0) == pytest.approx(18.0)
+        assert sig.integrate(3.0, 3.0) == 0.0
+
+    def test_integral_covers_hold_back_region(self):
+        sig = Signal([(5.0, 3.0)], mode="step")
+        assert sig.integrate(0.0, 10.0) == pytest.approx(30.0)
+
+
+class TestLinearSignal:
+    def test_interpolates_between_points(self):
+        sig = Signal([(0.0, 0.0), (10.0, 10.0)], mode="linear")
+        assert sig.value(5.0) == pytest.approx(5.0)
+        assert sig.value(10.0) == 10.0
+        assert sig.value(20.0) == 10.0  # aperiodic hold past last point
+
+    def test_integral_is_trapezoid(self):
+        sig = Signal([(0.0, 0.0), (10.0, 10.0)], mode="linear")
+        assert sig.integrate(0.0, 10.0) == pytest.approx(50.0)
+        # Half the triangle: ∫0..5 t dt = 12.5.
+        assert sig.integrate(0.0, 5.0) == pytest.approx(12.5)
+        assert sig.integrate(2.0, 8.0) == pytest.approx(0.5 * (2.0 + 8.0) * 6.0)
+
+
+class TestPeriodicSignal:
+    def test_step_wraps(self):
+        sig = Signal([(0.0, 1.0), (5.0, 3.0)], mode="step", period_s=10.0)
+        assert sig.value(12.0) == 1.0
+        assert sig.value(17.0) == 3.0
+
+    def test_step_integral_whole_and_partial_periods(self):
+        sig = Signal([(0.0, 1.0), (5.0, 3.0)], mode="step", period_s=10.0)
+        # One period: 5 s at 1 + 5 s at 3 = 20.
+        assert sig.integrate(0.0, 10.0) == pytest.approx(20.0)
+        # Two full periods plus 5 s at 1.
+        assert sig.integrate(0.0, 25.0) == pytest.approx(45.0)
+        # Window straddling a seam: [8, 12] = 2 s at 3 + 2 s at 1.
+        assert sig.integrate(8.0, 12.0) == pytest.approx(8.0)
+
+    def test_linear_seam_interpolates_back_to_first_point(self):
+        sig = Signal([(0.0, 0.0), (5.0, 10.0)], mode="linear", period_s=10.0)
+        assert sig.value(7.5) == pytest.approx(5.0)  # midway down the seam
+        assert sig.value(10.0) == pytest.approx(0.0)  # wrapped to t=0
+        # One period: up-ramp triangle (25) + down-ramp triangle (25).
+        assert sig.integrate(0.0, 10.0) == pytest.approx(50.0)
+        assert sig.integrate(5.0, 15.0) == pytest.approx(50.0)
+
+    def test_many_periods_do_not_accumulate_error(self):
+        sig = Signal([(0.0, 2.0), (1.0, 4.0)], mode="step", period_s=2.0)
+        assert sig.integrate(0.0, 2000.0) == pytest.approx(6000.0, rel=1e-12)
+
+
+class TestValidation:
+    def test_needs_points(self):
+        with pytest.raises(ValueError):
+            Signal([])
+
+    def test_times_strictly_increasing(self):
+        with pytest.raises(ValueError):
+            Signal([(0.0, 1.0), (0.0, 2.0)])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Signal([(-1.0, 1.0)])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            Signal([(0.0, math.nan)])
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            Signal([(0.0, 1.0)], mode="spline")
+
+    def test_period_must_exceed_last_time(self):
+        with pytest.raises(ValueError):
+            Signal([(0.0, 1.0), (10.0, 2.0)], period_s=10.0)
+
+    def test_periodic_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            Signal([(1.0, 1.0)], period_s=10.0)
+
+    def test_negative_query_time_rejected(self):
+        sig = Signal.constant(1.0)
+        with pytest.raises(ValueError):
+            sig.value(-0.1)
+
+    def test_reversed_integration_bounds_rejected(self):
+        sig = Signal.constant(1.0)
+        with pytest.raises(ValueError):
+            sig.integrate(5.0, 1.0)
+
+
+class TestSerialisation:
+    def test_dict_round_trip(self):
+        sig = Signal([(0.0, 1.0), (3.0, 2.5)], mode="linear", period_s=8.0,
+                     name="test", units="u")
+        back = Signal.from_dict(sig.to_dict())
+        assert back.to_dict() == sig.to_dict()
+        assert back.value(5.5) == sig.value(5.5)
+
+    def test_json_round_trip(self, tmp_path):
+        sig = Signal([(0.0, 10.0), (4.0, 20.0)], mode="step", name="carbon")
+        path = str(tmp_path / "sig.json")
+        sig.to_json(path)
+        back = Signal.from_json(path)
+        assert back.integrate(0.0, 6.0) == sig.integrate(0.0, 6.0)
+        assert back.name == "carbon"
+
+    def test_csv_with_header(self, tmp_path):
+        path = tmp_path / "sig.csv"
+        path.write_text("time_s,value\n0,100\n10,200\n")
+        sig = Signal.from_csv(str(path), mode="step")
+        assert sig.value(5.0) == 100.0
+        assert sig.integrate(0.0, 20.0) == pytest.approx(100.0 * 10 + 200.0 * 10)
+
+    def test_csv_bad_row_mid_file_raises(self, tmp_path):
+        path = tmp_path / "sig.csv"
+        path.write_text("0,100\nbroken,row\n")
+        with pytest.raises(ValueError):
+            Signal.from_csv(str(path))
+
+
+class TestProfiles:
+    def test_every_carbon_profile_constructs_and_is_positive(self):
+        for name in CARBON_PROFILES:
+            sig = carbon_profile(name, period_s=100.0)
+            for t in (0.0, 25.0, 50.0, 99.0, 150.0):
+                assert sig.value(t) > 0.0, (name, t)
+
+    def test_every_price_profile_constructs_and_is_positive(self):
+        for name in PRICE_PROFILES:
+            sig = price_profile(name, period_s=100.0)
+            for t in (0.0, 40.0, 80.0, 130.0):
+                assert sig.value(t) > 0.0, (name, t)
+
+    def test_unknown_profiles_rejected(self):
+        with pytest.raises(ValueError):
+            carbon_profile("nuclear-winter")
+        with pytest.raises(ValueError):
+            price_profile("free")
+
+    def test_solar_dips_mid_period(self):
+        sig = carbon_profile("solar", period_s=100.0)
+        assert sig.value(45.0) < sig.value(0.0)
+
+    def test_outside_profile_peaks_at_warmest_fraction(self):
+        sig = outside_temperature_profile(
+            mean_c=20.0, swing_c=8.0, period_s=100.0, warmest_fraction=0.625
+        )
+        assert sig.value(62.5) == pytest.approx(28.0)
+        assert min(sig.value(t) for t in range(100)) >= 20.0 - 8.0 - 1e-9

@@ -1,0 +1,125 @@
+"""Tests for the lumped-RC zone thermal model.
+
+The step-response tests check against the analytic solution of
+``C·dT/dt = P − (1−r)(T−T_s)/R`` — the model must match the math, not
+itself.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.facility.thermal import ThermalConfig, ThermalZone
+
+
+CFG = ThermalConfig(
+    heat_capacity_j_per_k=100.0,
+    thermal_resistance_k_per_w=0.04,
+    recirculation_fraction=0.2,
+)
+
+
+class TestClosedForm:
+    def test_time_constant(self):
+        zone = ThermalZone(CFG, supply_c=22.0)
+        assert zone.time_constant_s == pytest.approx(0.04 * 100.0 / 0.8)
+
+    def test_steady_state(self):
+        zone = ThermalZone(CFG, supply_c=22.0)
+        # T_ss = T_s + P·R/(1−r) = 22 + 400·0.04/0.8 = 42.
+        assert zone.steady_state_c(400.0) == pytest.approx(42.0)
+        assert zone.steady_state_c(0.0) == pytest.approx(22.0)
+
+    def test_step_response_matches_analytic_solution(self):
+        zone = ThermalZone(CFG, supply_c=22.0)
+        p = 400.0
+        for dt in (0.5, 1.0, 2.5):
+            before = zone.temp_c
+            zone.advance(dt, p)
+            t_ss = 42.0
+            expected = t_ss + (before - t_ss) * math.exp(
+                -dt / zone.time_constant_s
+            )
+            assert zone.temp_c == pytest.approx(expected, rel=1e-12)
+
+    def test_many_small_steps_equal_one_big_step(self):
+        """The exponential update is exact: step size must not matter."""
+        fine = ThermalZone(CFG, supply_c=22.0)
+        coarse = ThermalZone(CFG, supply_c=22.0)
+        for _ in range(1000):
+            fine.advance(0.01, 300.0)
+        coarse.advance(10.0, 300.0)
+        assert fine.temp_c == pytest.approx(coarse.temp_c, rel=1e-9)
+
+    def test_converges_to_steady_state(self):
+        zone = ThermalZone(CFG, supply_c=22.0)
+        zone.advance(100 * zone.time_constant_s, 400.0)
+        assert zone.temp_c == pytest.approx(42.0)
+
+    def test_cooling_back_down(self):
+        zone = ThermalZone(CFG, supply_c=22.0, initial_temp_c=50.0)
+        zone.advance(100 * zone.time_constant_s, 0.0)
+        assert zone.temp_c == pytest.approx(22.0)
+
+
+class TestDerivedQuantities:
+    def test_initial_temp_defaults_to_supply(self):
+        assert ThermalZone(CFG, supply_c=25.0).temp_c == 25.0
+
+    def test_inlet_mixes_supply_and_recirculated_exhaust(self):
+        zone = ThermalZone(CFG, supply_c=20.0, initial_temp_c=40.0)
+        # (1−0.2)·20 + 0.2·40 = 24.
+        assert zone.inlet_c == pytest.approx(24.0)
+
+    def test_extraction_matches_conductance(self):
+        zone = ThermalZone(CFG, supply_c=22.0, initial_temp_c=42.0)
+        # (1−r)(T−T_s)/R = 0.8·20/0.04 = 400 W — the steady-state balance.
+        assert zone.extraction_w() == pytest.approx(400.0)
+
+    def test_extraction_never_negative(self):
+        zone = ThermalZone(CFG, supply_c=30.0, initial_temp_c=20.0)
+        assert zone.extraction_w() == 0.0
+
+    def test_energy_balance_at_steady_state(self):
+        """At steady state, extraction equals the IT power injected."""
+        zone = ThermalZone(CFG, supply_c=22.0)
+        zone.advance(1000.0, 250.0)
+        assert zone.extraction_w() == pytest.approx(250.0, rel=1e-6)
+
+
+class TestAdvanceContract:
+    def test_negative_dt_rejected(self):
+        zone = ThermalZone(CFG, supply_c=22.0)
+        with pytest.raises(ValueError):
+            zone.advance(-0.1, 100.0)
+
+    def test_zero_dt_is_noop(self):
+        zone = ThermalZone(CFG, supply_c=22.0, initial_temp_c=33.0)
+        assert zone.advance(0.0, 1e6) == 33.0
+        assert zone.temp_c == 33.0
+
+
+class TestConfigValidation:
+    def test_heat_capacity_positive(self):
+        with pytest.raises(ValueError):
+            ThermalConfig(heat_capacity_j_per_k=0.0)
+
+    def test_resistance_positive(self):
+        with pytest.raises(ValueError):
+            ThermalConfig(thermal_resistance_k_per_w=-1.0)
+
+    def test_recirculation_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            ThermalConfig(recirculation_fraction=1.0)
+        with pytest.raises(ValueError):
+            ThermalConfig(recirculation_fraction=-0.1)
+
+    def test_physical_bounds_ordered(self):
+        with pytest.raises(ValueError):
+            ThermalConfig(min_physical_c=100.0, max_physical_c=0.0)
+
+    def test_json_round_trip(self):
+        back = ThermalConfig.from_dict(CFG.to_dict())
+        assert back == CFG

@@ -118,3 +118,63 @@ class TestGoverning:
         slow_power = results[1.2]["cpu_j"] / results[1.2]["finish"]
         fast_power = results[2.8]["cpu_j"] / results[2.8]["finish"]
         assert slow_power < fast_power
+
+
+class TestFrequencyCaps:
+    """Thermal-throttle frequency caps composed with the ondemand policy."""
+
+    def _governed(self, frequency_ghz=2.8):
+        engine = Engine()
+        config = dvfs_config()
+        if frequency_ghz != 2.8:
+            data = config.to_dict()
+            data["processor"]["frequency_ghz"] = frequency_ghz
+            config = ServerConfig.from_dict(data)
+        server = Server(engine, config)
+        governor = DvfsGovernor(engine, [server], interval_s=0.05)
+        governor.start()
+        return engine, server, governor
+
+    def test_cap_must_be_positive(self):
+        engine, server, governor = self._governed()
+        with pytest.raises(ValueError):
+            governor.set_frequency_cap(server, 0.0)
+
+    def test_over_cap_steps_straight_down(self):
+        engine, server, governor = self._governed()
+        submit(server, 100.0)
+        submit(server, 100.0)  # fully busy: would hold/climb without a cap
+        governor.set_frequency_cap(server, 2.0)
+        engine.run(until=0.1)  # one tick is enough
+        assert server.processors[0].frequency_ghz == 2.0
+
+    def test_busy_server_cannot_climb_past_cap(self):
+        engine, server, governor = self._governed(frequency_ghz=1.2)
+        submit(server, 100.0)
+        submit(server, 100.0)
+        governor.set_frequency_cap(server, 2.0)
+        engine.run(until=1.0)
+        assert server.processors[0].frequency_ghz == 2.0
+
+    def test_cap_below_ladder_floors_at_lowest_rung(self):
+        engine, server, governor = self._governed()
+        governor.set_frequency_cap(server, 0.5)
+        engine.run(until=0.1)
+        assert server.processors[0].frequency_ghz == 1.2
+
+    def test_clear_cap_ramps_back_on_demand(self):
+        engine, server, governor = self._governed()
+        submit(server, 100.0)
+        submit(server, 100.0)
+        governor.set_frequency_cap(server, 1.2)
+        engine.run(until=0.5)
+        assert server.processors[0].frequency_ghz == 1.2
+        governor.clear_frequency_cap(server)
+        engine.run(until=1.5)
+        assert server.processors[0].frequency_ghz == 2.8
+
+    def test_idle_server_still_steps_down_within_cap(self):
+        engine, server, governor = self._governed()
+        governor.set_frequency_cap(server, 2.4)
+        engine.run(until=1.0)
+        assert server.processors[0].frequency_ghz == 1.2

@@ -66,6 +66,11 @@ def sigkill_self_once(x: int, scratch_dir: str) -> int:
     return x
 
 
+def report_pid(x: int) -> int:
+    """Return the executing process id, for elastic-worker tests."""
+    return os.getpid()
+
+
 def record_execution(x: int, scratch_dir: str) -> int:
     """Return ``x`` and leave a breadcrumb proving the point really ran."""
     with open(os.path.join(scratch_dir, f"ran-{x}.marker"), "w") as fh:

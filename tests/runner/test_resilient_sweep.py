@@ -296,11 +296,18 @@ class TestPoolResilience:
 
     def test_every_point_crashing_once_still_completes_with_retries(self, tmp_path):
         """All points crash their worker on first execution; with a retry
-        budget the sweep still converges to full results."""
+        budget the sweep still converges to full results.
+
+        Budget arithmetic: a broken pool cannot attribute the crash, so
+        every in-flight point's crash counter ticks.  Each point crashes
+        once itself and can in the worst scheduling be in flight for each
+        of the other 3 points' crashes — 4 counted crashes.  A point fails
+        when ``crashes > retries + 1``, so ``retries=3`` makes the worst
+        case deterministic instead of an interleaving lottery."""
         spec = SweepSpec("kill-all")
         for x in range(4):
             spec.add(w.sigkill_self_once, x=x, scratch_dir=str(tmp_path))
-        opts = SweepOptions(retries=1, retry_backoff_s=0.0)
+        opts = SweepOptions(retries=3, retry_backoff_s=0.0)
         assert run_sweep(spec, jobs=2, options=opts) == [0, 1, 2, 3]
 
     def test_timeout_kills_and_retries(self, tmp_path):

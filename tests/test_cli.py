@@ -30,7 +30,7 @@ class TestParser:
     def test_jobs_flag_on_every_sweep_command(self):
         for command in (
             "provisioning", "delay-timer", "residency", "joint",
-            "faults", "scalability", "bench",
+            "faults", "facility-carbon", "scalability", "bench",
         ):
             args = build_parser().parse_args([command, "--jobs", "4"])
             assert args.jobs == 4, command
@@ -50,6 +50,18 @@ class TestParser:
             ["scalability", "--sizes", "100", "1000"]
         )
         assert args.sizes == [100, 1000]
+
+    def test_facility_carbon_defaults(self):
+        args = build_parser().parse_args(["facility-carbon"])
+        assert args.setpoints == [22.0, 26.0, 30.0]
+        assert args.carbon == ["solar", "evening-peak"]
+        assert args.thermal_limit == 45.0
+
+    def test_facility_carbon_rejects_unknown_profile(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["facility-carbon", "--carbon", "unobtainium"]
+            )
 
 
 class TestExecution:
@@ -98,6 +110,16 @@ class TestExecution:
         main(["scalability", "--sizes", "50", "100", "--num-jobs", "500"])
         out = capsys.readouterr().out
         assert "50" in out and "100" in out
+
+    def test_facility_carbon_smoke(self, capsys):
+        main([
+            "facility-carbon", "--servers", "4", "--duration", "4",
+            "--utilization", "0.3", "--setpoints", "22", "30",
+            "--carbon", "solar", "--strict-invariants",
+        ])
+        out = capsys.readouterr().out
+        assert "PUE" in out and "gCO2" in out
+        assert "22.0" in out and "30.0" in out
 
     def test_bench_quick_smoke(self, capsys, tmp_path):
         import json
@@ -162,7 +184,8 @@ class TestObservabilityFlags:
     def test_flags_parse_on_every_subcommand(self):
         for command in (
             "provisioning", "delay-timer", "residency", "joint", "faults",
-            "scalability", "validate-server", "bench", "make-trace",
+            "facility-carbon", "scalability", "validate-server", "bench",
+            "make-trace",
         ):
             extra = ["--out", "x.txt"] if command == "make-trace" else []
             args = build_parser().parse_args([
@@ -190,6 +213,13 @@ class TestObservabilityFlags:
             build_parser().parse_args(
                 ["delay-timer", "--trace-categories", "bogus"]
             )
+
+    def test_facility_trace_category_accepted(self):
+        args = build_parser().parse_args(
+            ["facility-carbon", "--trace", "t.json",
+             "--trace-categories", "facility"]
+        )
+        assert args.trace_categories == ["facility"]
 
     def test_provisioning_arrival_trace_renamed(self):
         # --trace on provisioning now means the telemetry trace; the arrival
