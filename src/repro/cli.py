@@ -324,16 +324,18 @@ def _cmd_facility_carbon(args: argparse.Namespace) -> None:
 
 
 def _cmd_scalability(args: argparse.Namespace) -> None:
+    pool = not args.no_pool
     if args.sizes:
         sweep = scalability.run_scalability_sweep(
             args.sizes, n_jobs=args.num_jobs, seed=args.seed, jobs=args.jobs,
             sweep_options=_sweep_options(args), audit=_audit_mode(args),
+            pool=pool,
         )
         print(sweep.render())
         return
     result = scalability.run_scalability(
         n_servers=args.servers, n_jobs=args.num_jobs, seed=args.seed,
-        audit=_audit_mode(args),
+        audit=_audit_mode(args), pool=pool,
     )
     print(result.render())
 
@@ -542,6 +544,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulated jobs to push through the farm")
     p.add_argument("--sizes", type=int, nargs="+", metavar="N",
                    help="sweep several farm sizes instead of a single run")
+    p.add_argument("--no-pool", action="store_true",
+                   help="force the exact per-server event path (disable the "
+                        "pooled idle-server fast path) for A/B debugging")
     common(p)
     p.set_defaults(fn=_cmd_scalability)
 

@@ -57,13 +57,17 @@ class StateTracker:
 
     def set_state(self, state: str, now: float) -> None:
         """Move to ``state`` at time ``now``; same-state calls are no-ops."""
-        if now < self._since:
-            raise ValueError(f"time moved backwards: {now} < {self._since}")
-        if state == self._state:
+        prev = self._state
+        if state == prev:
             return
-        self._residency[self._state] = self._residency.get(self._state, 0.0) + (now - self._since)
-        key = (self._state, state)
-        self._transitions[key] = self._transitions.get(key, 0) + 1
+        since = self._since
+        if now < since:
+            raise ValueError(f"time moved backwards: {now} < {since}")
+        res = self._residency
+        res[prev] = res.get(prev, 0.0) + (now - since)
+        key = (prev, state)
+        trans = self._transitions
+        trans[key] = trans.get(key, 0) + 1
         self._state = state
         self._since = now
 

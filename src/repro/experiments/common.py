@@ -12,6 +12,7 @@ from repro.core.invariants import AuditReport, audit_run
 from repro.core.rng import RandomSource
 from repro.scheduling.global_scheduler import GlobalScheduler
 from repro.scheduling.policies import DispatchPolicy
+from repro.server.pool import ServerPool
 from repro.server.server import Server
 from repro.telemetry import session as telemetry
 from repro.workload.arrivals import ArrivalProcess
@@ -29,6 +30,9 @@ class Farm:
     servers: List[Server]
     scheduler: GlobalScheduler
     rng: RandomSource
+    #: Optional idle-server fast path (see repro.server.pool); farm-wide
+    #: telemetry methods materialize on access, so reads stay exact.
+    pool: Optional[ServerPool] = None
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         self.engine.run(until=until, max_events=max_events)
@@ -66,8 +70,14 @@ def build_farm(
     eligible_provider: Optional[Callable[[], List[Server]]] = None,
     engine: Optional[Engine] = None,
     servers: Optional[Sequence[Server]] = None,
+    pool: bool = False,
 ) -> Farm:
-    """Construct an engine + servers + global scheduler with one call."""
+    """Construct an engine + servers + global scheduler with one call.
+
+    ``pool=True`` attaches a :class:`~repro.server.pool.ServerPool` so
+    settled-idle servers ride pooled state machines instead of per-server
+    engine events — bit-identical observables, farm-scale speed.
+    """
     if n_servers <= 0:
         raise ValueError(f"need at least one server, got {n_servers}")
     engine = engine or Engine()
@@ -81,10 +91,21 @@ def build_farm(
         use_global_queue=use_global_queue,
         eligible_provider=eligible_provider,
     )
+    server_pool: Optional[ServerPool] = None
+    if pool:
+        server_pool = ServerPool(engine)
+        for server in servers:
+            server_pool.adopt(server)
     ts = telemetry.ACTIVE
     if ts is not None:
         ts.attach_engine(engine)
-    return Farm(engine=engine, servers=list(servers), scheduler=scheduler, rng=RandomSource(seed))
+    return Farm(
+        engine=engine,
+        servers=list(servers),
+        scheduler=scheduler,
+        rng=RandomSource(seed),
+        pool=server_pool,
+    )
 
 
 def register_farm_metrics(
@@ -175,6 +196,7 @@ def audit_farm(
         driver=driver,
         availability=availability,
         facility=facility,
+        pool=farm.pool,
     )
     if not report.ok:
         if audit == "strict":

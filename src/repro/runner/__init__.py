@@ -30,6 +30,7 @@ from repro.runner.sweep import (
     SweepSpec,
     derive_label,
     derive_point_seed,
+    host_cpus,
     run_sweep,
     run_sweep_detailed,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "SweepSpec",
     "derive_label",
     "derive_point_seed",
+    "host_cpus",
     "point_fingerprint",
     "run_sweep",
     "run_sweep_detailed",

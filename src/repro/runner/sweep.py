@@ -716,6 +716,24 @@ def _run_inline(
             aborted = True
 
 
+def host_cpus() -> int:
+    """CPUs this process may actually use, for elastic worker sizing.
+
+    ``os.cpu_count()`` reports the machine, not the process: in containers
+    and under ``taskset`` the scheduler affinity mask is often far smaller.
+    Prefer ``len(os.sched_getaffinity(0))`` where the platform exposes it
+    (Linux) so worker clamping — and the ``host.cpus`` field recorded in
+    ``BENCH_core.json`` — reflect the CPUs sweeps can really occupy.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
+
+
 def run_sweep_detailed(
     spec: SweepSpec, jobs: int = 1, options: Optional[SweepOptions] = None
 ) -> SweepResult:
@@ -733,8 +751,9 @@ def run_sweep_detailed(
         # spawn/pickle tax (the 0.666x sweep "speedup" in BENCH_core.json)
         # for zero parallelism.  Callers passing SweepOptions keep exact
         # pool semantics: timeouts/retry isolation need worker processes
-        # regardless of CPU count.
-        jobs = min(jobs, os.cpu_count() or 1)
+        # regardless of CPU count.  The clamp is affinity-aware: what counts
+        # is the CPUs this process may run on, not what the machine has.
+        jobs = min(jobs, host_cpus())
     options = options or SweepOptions()
 
     # Telemetry: freeze the active session (and/or post-mortem trace_dir)

@@ -103,8 +103,14 @@ class GlobalScheduler:
         self._pending_sources: Dict[Task, List[Tuple[int, float]]] = {}
         self._placements: Dict[Task, "Server"] = {}
 
+        # Cached alive-server list: rebuilding [s for s in servers if not
+        # s.is_failed] per placement is O(n) and dominates farm-scale runs;
+        # fail()/repair() invalidate it through the availability listeners.
+        self._alive: Optional[List["Server"]] = None
+
         for server in self.servers:
             server.on_task_complete = self._on_task_complete
+            server.add_availability_listener(self._on_availability_change)
 
     # ------------------------------------------------------------------
     # Job intake
@@ -130,12 +136,18 @@ class GlobalScheduler:
     # ------------------------------------------------------------------
     # Placement and dispatch
     # ------------------------------------------------------------------
+    def _on_availability_change(self, server: "Server") -> None:
+        self._alive = None
+
     def _candidates(self) -> List["Server"]:
         if self.eligible_provider is not None:
             eligible = self.eligible_provider()
             if eligible:
                 return [s for s in eligible if not s.is_failed]
-        return [s for s in self.servers if not s.is_failed]
+        alive = self._alive
+        if alive is None:
+            alive = self._alive = [s for s in self.servers if not s.is_failed]
+        return alive
 
     def _place_task(self, task: Task) -> None:
         candidates = self._candidates()

@@ -24,6 +24,10 @@ from repro.telemetry import session as telemetry
 if TYPE_CHECKING:  # pragma: no cover
     from repro.server.processor import Processor
 
+#: 2-bit-per-core encoding of the C-state, packed into ``Processor._state_mask``
+#: so package-level checks and the per-mask power cache are integer compares.
+_MASK_CODE = {CoreState.ACTIVE: 0, CoreState.C1: 1, CoreState.C6: 2}
+
 
 class Core:
     """A single execution unit owned by a :class:`Processor`."""
@@ -33,6 +37,7 @@ class Core:
             raise ValueError(f"core speed factor must be positive, got {speed_factor}")
         self.processor = processor
         self.index = index
+        self._mask_shift = 2 * index
         self.speed_factor = float(speed_factor)
         self.engine: Engine = processor.engine
         self.state = CoreState.C1
@@ -78,13 +83,14 @@ class Core:
         """
         if self.current_task is not None:
             raise RuntimeError(f"{self} is busy with {self.current_task}")
-        now = self.engine.now
+        now = self.engine._now
         self._cancel_c6_timer()
         wake_delay = 0.0
         if self.state is CoreState.C6:
             wake_delay = self.processor.config.core_profile.c6_exit_latency_s
         self._set_state(CoreState.ACTIVE)
         self.current_task = task
+        self.processor._busy += 1
         task.state = TaskState.RUNNING
         task.start_time = now
         finish_at = now + extra_start_delay + wake_delay + self.execution_time(task)
@@ -104,6 +110,7 @@ class Core:
             self._completion.cancel()
         self._completion = None
         self.current_task = None
+        self.processor._busy -= 1
         task.state = TaskState.QUEUED
         task.start_time = None
         self._set_state(CoreState.C1)
@@ -129,9 +136,10 @@ class Core:
     def _complete(self) -> None:
         task = self.current_task
         assert task is not None
-        now = self.engine.now
+        now = self.engine._now
         self._completion = None
         self.current_task = None
+        self.processor._busy -= 1
         task.state = TaskState.FINISHED
         task.finish_time = now
         self.tasks_completed += 1
@@ -151,8 +159,47 @@ class Core:
                 args={"job": jid, "type": task.task_type},
             )
         self._set_state(CoreState.C1)
-        self._arm_c6_timer()
+        # Deferred arming: completion callbacks often either hand this core a
+        # new task (which would cancel the timer straight away) or capture the
+        # whole server into the pool (which detaches it).  Arming afterwards —
+        # at the same timestamp and therefore the same deadline — skips that
+        # schedule/cancel churn.  ServerPool.try_capture knows a just-completed
+        # C1 core with no handle is due at now + core_c6_timer_s.
         self.processor.on_core_complete(self, task)
+        server = self.processor._server
+        if (
+            self.current_task is None
+            and self.state is CoreState.C1
+            and self._c6_timer is None
+            and (server is None or server._pool_slot < 0)
+        ):
+            self._arm_c6_timer()
+
+    # ------------------------------------------------------------------
+    # Pool fast-path support (repro.server.pool)
+    # ------------------------------------------------------------------
+    def detach_c6_deadline(self) -> float:
+        """Cancel the pending C6 timer and return its absolute deadline.
+
+        Returns ``-inf`` if the core is already power-gated and ``+inf`` if no
+        timer is pending (the core would stay in C1 indefinitely).  Used by
+        :class:`repro.server.pool.ServerPool` at capture; the deadline is
+        re-armed verbatim by :meth:`restore_c6_deadline` on materialization.
+        """
+        if self.state is CoreState.C6:
+            return float("-inf")
+        handle = self._c6_timer
+        if handle is not None and handle.pending:
+            deadline = handle.time
+            handle.cancel()
+            self._c6_timer = None
+            return deadline
+        return float("inf")
+
+    def restore_c6_deadline(self, deadline: float) -> None:
+        """Re-arm the C6 timer at its original absolute deadline."""
+        self._cancel_c6_timer()
+        self._c6_timer = self.engine.schedule_at(deadline, self._enter_c6)
 
     def _arm_c6_timer(self) -> None:
         timer = self.processor.config.core_c6_timer_s
@@ -175,20 +222,25 @@ class Core:
     def _set_state(self, state: CoreState) -> None:
         if state is self.state:
             return
+        now = self.engine._now
         ts = telemetry.ACTIVE
         if ts is not None and ts.power is not None:
             # Close the span for the C-state we are leaving.
-            now = self.engine.now
             proc = self.processor
             ts.power.complete(
                 "power", self.state.value,
                 f"server/{proc.server_label}/cpu{proc.socket_index}.{self.index}",
                 self._state_since, now - self._state_since,
             )
-        self._state_since = self.engine.now
+        self._state_since = now
         self.state = state
-        self.tracker.set_state(state.value, self.engine.now)
-        self.processor.on_core_state_change(self)
+        proc = self.processor
+        shift = self._mask_shift
+        proc._state_mask = (proc._state_mask & ~(3 << shift)) | (
+            _MASK_CODE[state] << shift
+        )
+        self.tracker.set_state(state.value, now)
+        proc.on_core_state_change(self)
 
     # ------------------------------------------------------------------
     def power_w(self) -> float:

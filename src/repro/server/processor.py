@@ -39,13 +39,25 @@ class Processor:
         self.allow_package_c6 = allow_package_c6
         self.frequency_ghz = config.frequency_ghz
         factors = config.core_speed_factors or (1.0,) * config.n_cores
+        self._homogeneous = len(set(factors)) == 1
+        #: Count of cores with a task; maintained by Core at every
+        #: ``current_task`` mutation so load queries are O(sockets).
+        self._busy = 0
+        #: 2 bits per core (see ``core_unit._MASK_CODE``); cores start in C1.
+        self._state_mask = 0
+        self._all_c6_mask = 0
+        for i in range(config.n_cores):
+            self._state_mask |= 1 << (2 * i)
+            self._all_c6_mask |= 2 << (2 * i)
         self.cores: List[Core] = [Core(self, i, factors[i]) for i in range(config.n_cores)]
         self.package_state = PackageState.PC0
         self.tracker = StateTracker(PackageState.PC0.value, engine.now)
         self._pc6_timer: Optional[EventHandle] = None
+        self._refresh_power_cache()
         # Wired by the owning Server.
         self.on_task_complete: Optional[Callable[[Core, Task], None]] = None
         self.on_power_change: Optional[Callable[[], None]] = None
+        self._server: Optional["Server"] = None
 
     # ------------------------------------------------------------------
     # Dispatch support
@@ -59,6 +71,17 @@ class Processor:
         free = [c for c in self.cores if c.available]
         free.sort(key=lambda c: (-c.speed_factor, c.index))
         return free
+
+    def first_available_core(self) -> Optional[Core]:
+        """The best single free core, or None — avoids the list+sort when
+        cores are homogeneous (lowest free index is then already the best)."""
+        if self._homogeneous:
+            for c in self.cores:
+                if c.current_task is None:
+                    return c
+            return None
+        free = self.available_cores()
+        return free[0] if free else None
 
     def prepare_dispatch(self) -> float:
         """Exit package C6 if needed; returns the exit latency to charge.
@@ -79,7 +102,16 @@ class Processor:
             raise ValueError(
                 f"frequency {frequency_ghz} GHz not among available P-states {available}"
             )
+        # A thermal throttle (or any governor) may retune a pooled-idle
+        # server; the accounting below must run on exact per-server state.
+        if self._server is not None:
+            self._server.ensure_materialized()
         self.frequency_ghz = frequency_ghz
+        self._refresh_power_cache()
+        if self._server is not None:
+            # Repoint (don't clear: the map is shared with same-frequency
+            # peers) the server-level component cache at the new P-state's.
+            self._server._repoint_cpower_cache()
         self._notify_power_change()
 
     # ------------------------------------------------------------------
@@ -108,15 +140,37 @@ class Processor:
             self.on_task_complete(core, task)
 
     def on_core_state_change(self, core: Core) -> None:
-        if all(c.state is CoreState.C6 for c in self.cores):
+        if self._state_mask == self._all_c6_mask:
             self._arm_pc6_timer()
         else:
             self._cancel_pc6_timer()
-            if self.package_state is PackageState.PC6 and any(
-                c.state is not CoreState.C6 for c in self.cores
-            ):
+            if self.package_state is PackageState.PC6:
                 self._set_package_state(PackageState.PC0)
         self._notify_power_change()
+
+    # ------------------------------------------------------------------
+    # Pool fast-path support (repro.server.pool)
+    # ------------------------------------------------------------------
+    def detach_pc6_deadline(self) -> Optional[float]:
+        """Cancel the pending package-C6 timer and return its deadline.
+
+        Returns ``-inf`` if the package is already in PC6 and None if no timer
+        is pending (the pool derives the deadline from the core cascade).
+        """
+        if self.package_state is PackageState.PC6:
+            return float("-inf")
+        handle = self._pc6_timer
+        if handle is not None and handle.pending:
+            deadline = handle.time
+            handle.cancel()
+            self._pc6_timer = None
+            return deadline
+        return None
+
+    def restore_pc6_deadline(self, deadline: float) -> None:
+        """Re-arm the package-C6 timer at its original absolute deadline."""
+        self._cancel_pc6_timer()
+        self._pc6_timer = self.engine.schedule_at(deadline, self._enter_pc6)
 
     # ------------------------------------------------------------------
     # Package C6 timer
@@ -152,16 +206,58 @@ class Processor:
     # ------------------------------------------------------------------
     # Power
     # ------------------------------------------------------------------
+    def _refresh_power_cache(self) -> None:
+        """Precompute per-C-state core powers (the active draw depends on the
+        current P-state); recomputed on every frequency change so the cached
+        floats are exactly what :meth:`Core.power_w` would return."""
+        profile = self.config.core_profile
+        ratio = self.frequency_ghz / self.config.nominal_frequency_ghz
+        self._active_w = profile.active_w * ratio**profile.dvfs_exponent
+        self._c1_w = profile.c1_w
+        self._c6_w = profile.c6_w
+        pkg = self.config.package_profile
+        self._uncore_pc0 = pkg.pc0_w
+        self._uncore_pc6 = pkg.pc6_w
+        # Summed core power per observed state mask; entries are computed by
+        # the same index-ordered loop, so cached floats are bit-identical to
+        # a fresh accumulation.  The map is shared by every processor built
+        # from this config object running at the same P-state (identical
+        # inputs produce identical floats), so a homogeneous farm warms it
+        # once instead of once per socket; a P-state change simply points at
+        # the new frequency's map.
+        shared = self.config.__dict__.setdefault("_mask_power_caches", {})
+        self._cores_power_cache: dict = shared.setdefault(self.frequency_ghz, {})
+
     def power_w(self) -> float:
-        """Instantaneous package power: uncore plus every core."""
-        profile = self.config.package_profile
-        uncore = profile.pc6_w if self.package_state is PackageState.PC6 else profile.pc0_w
-        return uncore + sum(core.power_w() for core in self.cores)
+        """Instantaneous package power: uncore plus every core.
+
+        Explicit accumulation (matching the former ``sum(genexpr)`` order
+        exactly) over cached per-state powers: this is the farm hot path's
+        innermost loop.
+        """
+        uncore = (
+            self._uncore_pc6
+            if self.package_state is PackageState.PC6
+            else self._uncore_pc0
+        )
+        total = self._cores_power_cache.get(self._state_mask)
+        if total is None:
+            active_w, c1_w, c6_w = self._active_w, self._c1_w, self._c6_w
+            total = 0
+            for core in self.cores:
+                state = core.state
+                total = total + (
+                    active_w
+                    if state is CoreState.ACTIVE
+                    else c1_w if state is CoreState.C1 else c6_w
+                )
+            self._cores_power_cache[self._state_mask] = total
+        return uncore + total
 
     @property
     def busy_core_count(self) -> int:
         """Number of cores currently executing a task."""
-        return sum(1 for c in self.cores if c.busy)
+        return self._busy
 
     def __repr__(self) -> str:
         return (

@@ -126,14 +126,14 @@ class TestElasticWorkers:
     def test_oversubscribed_jobs_run_inline_on_small_host(self, monkeypatch):
         import repro.runner.sweep as sweep_mod
 
-        monkeypatch.setattr(sweep_mod.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(sweep_mod, "host_cpus", lambda: 1)
         pids = run_sweep(self._pid_spec(), jobs=4)
         assert set(pids) == {os.getpid()}
 
     def test_jobs_within_cpu_budget_still_pool(self, monkeypatch):
         import repro.runner.sweep as sweep_mod
 
-        monkeypatch.setattr(sweep_mod.os, "cpu_count", lambda: 8)
+        monkeypatch.setattr(sweep_mod, "host_cpus", lambda: 8)
         pids = run_sweep(self._pid_spec(2), jobs=2)
         assert os.getpid() not in pids
 
@@ -143,7 +143,7 @@ class TestElasticWorkers:
         import repro.runner.sweep as sweep_mod
         from repro.runner import SweepOptions, run_sweep_detailed
 
-        monkeypatch.setattr(sweep_mod.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(sweep_mod, "host_cpus", lambda: 1)
         result = run_sweep_detailed(
             self._pid_spec(2), jobs=2, options=SweepOptions()
         )
@@ -152,7 +152,7 @@ class TestElasticWorkers:
     def test_single_job_unaffected(self, monkeypatch):
         import repro.runner.sweep as sweep_mod
 
-        monkeypatch.setattr(sweep_mod.os, "cpu_count", lambda: 64)
+        monkeypatch.setattr(sweep_mod, "host_cpus", lambda: 64)
         assert run_sweep(self._pid_spec(1), jobs=1) == [os.getpid()]
 
     def test_committed_bench_no_longer_pays_spawn_tax(self):
