@@ -12,8 +12,15 @@ the paper's figure reports::
     python -m repro validate-server
     python -m repro validate-switch --duration 1800
     python -m repro scalability --servers 20480
+    python -m repro scalability --servers 4096 --shards 4 --partitions 4
     python -m repro faults --mtbfs 120 60 30 --retry-limit 3
     python -m repro bench --quick
+
+``--shards N`` (on ``scalability`` and ``joint``) runs the conservative
+time-window shard engine (:mod:`repro.parallel`): the farm is split into
+``--partitions`` model partitions packed onto ``N`` worker processes, and
+the merged report is bit-identical for every shard count — only wall-clock
+changes.  The ``merged ...`` lines it prints are the CI diff surface.
 
 Every subcommand accepts ``--jobs N`` to evaluate independent sweep points
 on N worker processes (results are bit-identical to ``--jobs 1``; commands
@@ -254,7 +261,32 @@ def _cmd_residency(args: argparse.Namespace) -> None:
     print(result.render())
 
 
+def _print_sharded(result) -> None:
+    """Report one shard-engine run: merged lines (the CI diff surface) on
+    stdout, the timing line separately since wall-clock is never stable."""
+    print(result.merged.render())
+    print(
+        f"sharded shards={result.shards} "
+        f"partitions={result.spec.n_partitions} "
+        f"windows={result.windows} wall={result.wall_seconds:.2f}s "
+        f"({result.events_per_second:,.0f} events/s)"
+    )
+
+
 def _cmd_joint(args: argparse.Namespace) -> None:
+    if args.shards is not None:
+        _print_sharded(
+            joint_energy.run_joint_sharded(
+                shards=args.shards,
+                partitions=args.partitions,
+                n_jobs=args.num_jobs,
+                utilization=args.utilizations[0],
+                k=args.fat_tree_k,
+                seed=args.seed,
+                audit=_audit_mode(args),
+            )
+        )
+        return
     comparison = joint_energy.run_joint_comparison(
         utilizations=args.utilizations,
         k=args.fat_tree_k,
@@ -324,7 +356,25 @@ def _cmd_facility_carbon(args: argparse.Namespace) -> None:
 
 
 def _cmd_scalability(args: argparse.Namespace) -> None:
-    pool = not args.no_pool
+    if args.force_pool:
+        pool = True
+    elif args.no_pool:
+        pool = False
+    else:
+        pool = "auto"
+    if args.shards is not None:
+        _print_sharded(
+            scalability.run_scalability_sharded(
+                n_servers=args.servers,
+                n_jobs=args.num_jobs,
+                shards=args.shards,
+                partitions=args.partitions,
+                seed=args.seed,
+                pool="on" if pool is True else "off" if pool is False else pool,
+                audit=_audit_mode(args),
+            )
+        )
+        return
     if args.sizes:
         sweep = scalability.run_scalability_sweep(
             args.sizes, n_jobs=args.num_jobs, seed=args.seed, jobs=args.jobs,
@@ -482,6 +532,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fat-tree-k", type=int, default=4)
     p.add_argument("--num-jobs", type=int, default=2000,
                    help="simulated jobs per grid point")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="run the shard engine on N worker processes instead "
+                        "of the Fig. 11 comparison (first --utilizations "
+                        "value, network-aware mode); results are "
+                        "bit-identical across N")
+    p.add_argument("--partitions", type=int, default=2, metavar="P",
+                   help="model partitions for --shards (one fat-tree "
+                        "cluster each; part of the scenario, not the "
+                        "execution)")
     common(p)
     p.set_defaults(fn=_cmd_joint)
 
@@ -544,9 +603,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulated jobs to push through the farm")
     p.add_argument("--sizes", type=int, nargs="+", metavar="N",
                    help="sweep several farm sizes instead of a single run")
-    p.add_argument("--no-pool", action="store_true",
-                   help="force the exact per-server event path (disable the "
-                        "pooled idle-server fast path) for A/B debugging")
+    pool_group = p.add_mutually_exclusive_group()
+    pool_group.add_argument("--pool", action="store_true", dest="force_pool",
+                            help="force the pooled idle-server fast path "
+                                 "(default: auto-select by farm size and "
+                                 "utilization)")
+    pool_group.add_argument("--no-pool", action="store_true",
+                            help="force the exact per-server event path "
+                                 "(disable the pooled fast path) for A/B "
+                                 "debugging")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="run the conservative-window shard engine on N "
+                        "worker processes (1 = inline serial reference); "
+                        "merged results are bit-identical across N")
+    p.add_argument("--partitions", type=int, default=4, metavar="P",
+                   help="model partitions for --shards (part of the "
+                        "scenario — changing it changes results; changing "
+                        "--shards never does)")
     common(p)
     p.set_defaults(fn=_cmd_scalability)
 

@@ -33,6 +33,7 @@ and avoids allocation beyond the heap entry itself.
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Any, Callable, List, Optional, Tuple
 
 #: Compaction is considered once the heap holds at least this many entries;
@@ -331,6 +332,28 @@ class Engine:
             self.events_executed += 1
             executed += 1
             hook(time, callback, args)
+
+    def run_until(self, t: float) -> None:
+        """Advance the clock to exactly ``t``, executing events **before** it.
+
+        This is the exclusive-horizon window primitive used by the sharded
+        runtime (:mod:`repro.parallel`): events with timestamps strictly less
+        than ``t`` execute, events at exactly ``t`` stay queued for the next
+        window, and the clock lands on ``t`` so barrier-time work (boundary
+        message delivery) runs with ``now == t`` ahead of any event at ``t``.
+
+        Implemented as :meth:`run` with an inclusive horizon one ulp below
+        ``t`` — the per-event dispatch loop is untouched, so windowed
+        execution pays nothing on the hot path.
+        """
+        if t < self._now:
+            raise SimulationError(
+                f"cannot run_until t={t} before current time t={self._now}"
+            )
+        if t > self._now:
+            self.run(until=math.nextafter(t, -math.inf))
+        if not self._stopped and self._now < t:
+            self._now = t
 
     def stop(self) -> None:
         """Stop the loop after the current event; usable from callbacks."""

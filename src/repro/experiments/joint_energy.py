@@ -95,29 +95,40 @@ class _DagJobFactory:
         )
 
 
-def run_joint_point(
+@dataclass
+class JointCluster:
+    """One wired-up fat-tree cluster under a joint energy manager.
+
+    Extracted from :func:`run_joint_point` so the sharded runtime
+    (:mod:`repro.parallel`) can build one identical cluster per partition —
+    the sharded joint scenario is a multi-cluster scale-out of this unit.
+    """
+
+    engine: Engine
+    topo: object
+    servers: List[Server]
+    router: Router
+    network: FlowNetwork
+    manager: JointEnergyManager
+    scheduler: GlobalScheduler
+
+
+def build_joint_cluster(
+    engine: Engine,
     mode: str,
-    utilization: float,
     k: int = 4,
-    n_jobs: int = 2000,
     n_cores: int = 10,
     link_rate_bps: float = 10e9,
-    transfer_bytes: float = 100e6,
     tau_s: float = 1.0,
     switch_idle_threshold_s: float = 2.0,
-    seed: int = 11,
     server_config: Optional[ServerConfig] = None,
-    audit: str = "warn",
-) -> JointRunResult:
-    """Run one strategy at one utilization on the fat-tree data center."""
-    engine = Engine()
+) -> JointCluster:
+    """Build topology + servers + manager + scheduler on ``engine``."""
     topo = fat_tree(engine, k, link_config=LinkConfig(rate_bps=link_rate_bps))
-    n_servers = topo.n_servers
     config = server_config or xeon_e5_2680_server(n_cores=n_cores)
-    servers = [Server(engine, config, server_id=i) for i in range(n_servers)]
+    servers = [Server(engine, config, server_id=i) for i in range(topo.n_servers)]
     router = Router(topo)
     network = FlowNetwork(engine, topo, router)
-
     manager = JointEnergyManager(
         engine,
         servers,
@@ -134,6 +145,46 @@ def run_joint_point(
         network=network,
         eligible_provider=manager.eligible_servers,
     )
+    return JointCluster(
+        engine=engine,
+        topo=topo,
+        servers=servers,
+        router=router,
+        network=network,
+        manager=manager,
+        scheduler=scheduler,
+    )
+
+
+def run_joint_point(
+    mode: str,
+    utilization: float,
+    k: int = 4,
+    n_jobs: int = 2000,
+    n_cores: int = 10,
+    link_rate_bps: float = 10e9,
+    transfer_bytes: float = 100e6,
+    tau_s: float = 1.0,
+    switch_idle_threshold_s: float = 2.0,
+    seed: int = 11,
+    server_config: Optional[ServerConfig] = None,
+    audit: str = "warn",
+) -> JointRunResult:
+    """Run one strategy at one utilization on the fat-tree data center."""
+    engine = Engine()
+    cluster = build_joint_cluster(
+        engine,
+        mode,
+        k=k,
+        n_cores=n_cores,
+        link_rate_bps=link_rate_bps,
+        tau_s=tau_s,
+        switch_idle_threshold_s=switch_idle_threshold_s,
+        server_config=server_config,
+    )
+    topo, servers = cluster.topo, cluster.servers
+    n_servers = topo.n_servers
+    manager, scheduler = cluster.manager, cluster.scheduler
     manager.start()
 
     rng = RandomSource(seed)
@@ -258,3 +309,35 @@ def run_joint_comparison(
         if result is not None:
             results[mode][rho] = result
     return JointComparison(results=results)
+
+
+def run_joint_sharded(
+    shards: int = 1,
+    partitions: int = 2,
+    n_jobs: int = 60,
+    utilization: float = 0.3,
+    k: int = 4,
+    mode: str = "network-aware",
+    seed: int = 11,
+    audit: str = "warn",
+):
+    """Run the joint-energy scenario on the conservative-window shard engine.
+
+    Each partition hosts its own fat-tree(``k``) cluster (``k**3 / 4``
+    servers), so the farm size is ``partitions * k**3 / 4``.  ``partitions``
+    fixes the model; ``shards`` only changes which processes advance it —
+    merged stats are bit-identical across shard counts.  Returns a
+    :class:`repro.parallel.ShardRunResult`.
+    """
+    from repro.parallel import joint_spec, run_sharded
+
+    spec = joint_spec(
+        n_partitions=partitions,
+        n_jobs=n_jobs,
+        utilization=utilization,
+        fat_tree_k=k,
+        joint_mode=mode,
+        seed=seed,
+        audit=audit,
+    )
+    return run_sharded(spec, shards=shards)

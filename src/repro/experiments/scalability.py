@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.core.config import ServerConfig, small_cloud_server
 from repro.core.rng import RandomSource
@@ -20,6 +20,34 @@ from repro.runner import SweepOptions, SweepSpec, run_sweep
 from repro.scheduling.policies import RoundRobinPolicy
 from repro.workload.arrivals import PoissonProcess, arrival_rate_for_utilization
 from repro.workload.profiles import ExponentialService, SingleTaskJobFactory
+
+
+#: Expected settled-idle servers above which the pooled fast path wins.
+#: Calibrated against BENCH_core.json: at 4,096 servers and rho=0.3 the
+#: exact path is slightly faster (pool_speedup 0.95), while the 20,480- and
+#: 65,536-server points are ~11x faster pooled — the crossover sits between.
+POOL_AUTO_IDLE_THRESHOLD = 8192
+
+
+def choose_pool(n_servers: int, utilization: float) -> bool:
+    """Pick the faster execution path for a farm-scale run.
+
+    The pooled fast path (:mod:`repro.server.pool`) pays a per-dispatch
+    materialization tax and wins only when it can amortize it over a large
+    settled-idle population; ``n_servers * (1 - utilization)`` estimates that
+    population.  Explicit ``--pool`` / ``--no-pool`` overrides always win.
+    """
+    idle_servers = n_servers * max(0.0, 1.0 - utilization)
+    return idle_servers >= POOL_AUTO_IDLE_THRESHOLD
+
+
+def resolve_pool(pool: Union[str, bool], n_servers: int, utilization: float) -> bool:
+    """Resolve the tri-state ``pool`` knob (``"auto"`` / ``True`` / ``False``)."""
+    if pool == "auto":
+        return choose_pool(n_servers, utilization)
+    if isinstance(pool, bool):
+        return pool
+    raise ValueError(f"pool must be 'auto', True or False, got {pool!r}")
 
 
 @dataclass
@@ -60,16 +88,19 @@ def run_scalability(
     seed: int = 13,
     server_config: Optional[ServerConfig] = None,
     audit: str = "warn",
-    pool: bool = True,
+    pool: Union[str, bool] = "auto",
 ) -> ScalabilityResult:
     """Simulate a >20K-server farm and measure simulator throughput.
 
-    ``pool=False`` forces the exact per-server event path (the CLI's
-    ``--no-pool``) for A/B debugging against the pooled fast path.
+    ``pool`` defaults to ``"auto"`` — :func:`choose_pool` picks the faster
+    path from farm size and target utilization.  ``pool=False`` forces the
+    exact per-server event path (the CLI's ``--no-pool``) and ``pool=True``
+    forces pooling (``--pool``) for A/B debugging.
     """
     config = server_config or small_cloud_server(n_cores=4)
+    use_pool = resolve_pool(pool, n_servers, utilization)
     farm = build_farm(
-        n_servers, config, policy=RoundRobinPolicy(), seed=seed, pool=pool
+        n_servers, config, policy=RoundRobinPolicy(), seed=seed, pool=use_pool
     )
     rng = RandomSource(seed)
     rate = arrival_rate_for_utilization(
@@ -105,6 +136,38 @@ def run_scalability(
     )
 
 
+def run_scalability_sharded(
+    n_servers: int = 4_096,
+    n_jobs: int = 2_000,
+    shards: int = 1,
+    partitions: int = 4,
+    utilization: float = 0.3,
+    seed: int = 13,
+    pool: str = "auto",
+    audit: str = "warn",
+):
+    """Run the scalability scenario on the conservative-window shard engine.
+
+    ``partitions`` is a *model* parameter (it fixes the boundary topology and
+    therefore the results); ``shards`` is purely an *execution* parameter —
+    merged stats are bit-identical for every legal value.  Returns a
+    :class:`repro.parallel.ShardRunResult`.
+    """
+    # Imported lazily: repro.parallel.scenarios imports resolve_pool from here.
+    from repro.parallel import run_sharded, scalability_spec
+
+    spec = scalability_spec(
+        n_servers=n_servers,
+        n_jobs=n_jobs,
+        n_partitions=partitions,
+        utilization=utilization,
+        seed=seed,
+        pool=pool,
+        audit=audit,
+    )
+    return run_sharded(spec, shards=shards)
+
+
 @dataclass
 class ScalabilitySweep:
     """Simulator throughput across farm sizes (the Table I trajectory)."""
@@ -127,7 +190,7 @@ def run_scalability_sweep(
     jobs: int = 1,
     sweep_options: Optional[SweepOptions] = None,
     audit: str = "warn",
-    pool: bool = True,
+    pool: Union[str, bool] = "auto",
 ) -> ScalabilitySweep:
     """Run the scalability point at several farm sizes.
 

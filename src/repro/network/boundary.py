@@ -1,0 +1,80 @@
+"""Shard-boundary link proxies for the sharded runtime.
+
+When the farm is partitioned (:mod:`repro.parallel`), partitions never share
+an :class:`~repro.core.engine.Engine`; everything crossing a partition
+boundary rides a :class:`BoundaryLink` instead of an in-engine
+:class:`~repro.network.link.Link`.  A boundary link is a *proxy*: it does not
+simulate queueing or serialization, it only declares the propagation delay of
+the physical path it stands in for and counts traffic.  The conservative
+window protocol derives its lookahead from these declared delays
+(:func:`derive_lookahead`) — every cross-partition message is delivered at
+least one propagation delay after it was sent, so no partition ever receives
+an event in its own past.
+
+Keeping the proxies in the network layer (rather than buried in the parallel
+runtime) keeps the delay model in one place: a scenario that tightens a
+boundary link's latency automatically tightens the synchronization window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
+
+
+@dataclass
+class BoundaryLink:
+    """Declared inter-partition path: src partition → dst partition.
+
+    Args:
+        src_pid: sending partition id.
+        dst_pid: receiving partition id.
+        propagation_s: one-way propagation delay of the physical path this
+            proxy stands in for (switch hops + wire).  Must be positive —
+            a zero-delay boundary would force a zero lookahead and
+            serialize the shards.
+    """
+
+    src_pid: int
+    dst_pid: int
+    propagation_s: float
+    messages: int = field(default=0, compare=False)
+    bytes: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.propagation_s <= 0.0:
+            raise ValueError(
+                f"boundary link {self.src_pid}->{self.dst_pid} needs a positive "
+                f"propagation delay, got {self.propagation_s}"
+            )
+
+    def record(self, n_bytes: int = 0) -> None:
+        """Account one message (and optionally its payload size)."""
+        self.messages += 1
+        self.bytes += n_bytes
+
+
+def full_mesh(n_partitions: int, propagation_s: float) -> Dict[Tuple[int, int], BoundaryLink]:
+    """Uniform boundary links between every ordered partition pair."""
+    if n_partitions < 1:
+        raise ValueError(f"need at least one partition, got {n_partitions}")
+    links: Dict[Tuple[int, int], BoundaryLink] = {}
+    for src in range(n_partitions):
+        for dst in range(n_partitions):
+            if src != dst:
+                links[(src, dst)] = BoundaryLink(src, dst, propagation_s)
+    return links
+
+
+def derive_lookahead(links: Iterable[BoundaryLink]) -> float:
+    """Conservative lookahead = the minimum declared propagation delay.
+
+    Any cross-partition message sent at time ``t`` arrives no earlier than
+    ``t + lookahead``, so each partition can safely simulate ``lookahead``
+    ahead of the slowest peer.  An empty link set (single partition) has no
+    boundary constraint; callers fall back to the scenario window.
+    """
+    delays = [link.propagation_s for link in links]
+    if not delays:
+        return float("inf")
+    return min(delays)

@@ -1,0 +1,61 @@
+"""Sharded farm engine: conservative time-window parallelism in one run.
+
+Partition the farm into ``P`` model partitions, pack them onto ``N`` worker
+processes, advance each worker's engine in lock-step windows, and exchange
+boundary events at window barriers — with merged results bit-identical to
+the inline serial execution.  See DESIGN.md ("Conservative-window sharding")
+for the protocol derivation.
+"""
+
+from repro.parallel.merge import MergedStats, merge_snapshots
+from repro.parallel.protocol import (
+    BarrierController,
+    InFlightLedger,
+    Message,
+    ProtocolError,
+    ShardEndpoint,
+    delivery_edge_index,
+    drain_window_count,
+)
+from repro.parallel.runtime import (
+    DEFAULT_BARRIER_TIMEOUT_S,
+    ShardCrashError,
+    ShardError,
+    ShardRunResult,
+    run_sharded,
+)
+from repro.parallel.scenarios import (
+    FRONTEND_PID,
+    SCENARIOS,
+    ScenarioSpec,
+    build_partition,
+    facility_spec,
+    faults_spec,
+    joint_spec,
+    scalability_spec,
+)
+
+__all__ = [
+    "BarrierController",
+    "DEFAULT_BARRIER_TIMEOUT_S",
+    "FRONTEND_PID",
+    "InFlightLedger",
+    "MergedStats",
+    "Message",
+    "ProtocolError",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "ShardCrashError",
+    "ShardEndpoint",
+    "ShardError",
+    "ShardRunResult",
+    "build_partition",
+    "delivery_edge_index",
+    "drain_window_count",
+    "facility_spec",
+    "faults_spec",
+    "joint_spec",
+    "merge_snapshots",
+    "run_sharded",
+    "scalability_spec",
+]

@@ -1,0 +1,422 @@
+"""Sharded execution: inline serial reference and multi-process coordinator.
+
+Both modes run the *same* window loop over the same partition models:
+
+1. advance every partition's engine to the window edge
+   (:meth:`~repro.core.engine.Engine.run_until`, exclusive horizon — the
+   clock lands exactly on the edge);
+2. collect outboxes and compute drain-readiness (readiness is evaluated
+   **before** this edge's deliveries in both modes);
+3. route boundary messages to their due edges (shared
+   :class:`~repro.parallel.protocol.InFlightLedger` bookkeeping);
+4. apply this edge's deliveries in ``(src_pid, src_seq)`` order as direct
+   calls at the edge timestamp;
+5. take the barrier decision
+   (:class:`~repro.parallel.protocol.BarrierController`): quiesce periodic
+   controllers when everything is ready and nothing is in flight, then stop
+   unconditionally after a fixed drain-window count at a canonical ``T_end``.
+
+Because every decision input is identical in both modes, the two executions
+take the same actions at the same edges and per-partition event streams are
+bit-identical — verified by the determinism tests via the merged journal
+fingerprint.
+
+Worker crashes never hang the barrier: pipe waits are bounded by
+``barrier_timeout_s`` and a dead or wedged shard surfaces as a structured
+:class:`ShardCrashError` naming the shard and window (the PR-4 sweep
+supervisor's broken-pool pattern, applied to barrier synchronization).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.engine import Engine
+from repro.core.invariants import audit_parallel, audit_run
+from repro.network.boundary import BoundaryLink, derive_lookahead, full_mesh
+from repro.parallel.merge import MergedStats, merge_snapshots
+from repro.parallel.protocol import (
+    BarrierController,
+    InFlightLedger,
+    Message,
+    ProtocolError,
+    ShardEndpoint,
+    drain_window_count,
+)
+from repro.parallel.scenarios import ScenarioSpec, build_partition
+from repro.scheduling.shard_map import ShardPlan
+
+#: Default bound on one barrier wait before a shard is declared dead.
+DEFAULT_BARRIER_TIMEOUT_S = 120.0
+
+
+class ShardError(RuntimeError):
+    """A shard failed with an in-worker exception at a known window."""
+
+    def __init__(self, shard: int, window: int, detail: str):
+        self.shard = shard
+        self.window = window
+        self.detail = detail
+        super().__init__(
+            f"shard {shard} failed at window {window}: {detail.strip().splitlines()[-1] if detail.strip() else detail}"
+        )
+
+
+class ShardCrashError(ShardError):
+    """A shard process died or stopped responding mid-window."""
+
+    def __init__(self, shard: int, window: int, detail: str):
+        RuntimeError.__init__(
+            self, f"shard {shard} crashed at window {window}: {detail}"
+        )
+        self.shard = shard
+        self.window = window
+        self.detail = detail
+
+
+@dataclass
+class ShardRunResult:
+    """Outcome of one sharded (or inline-serial) scenario execution."""
+
+    spec: ScenarioSpec
+    shards: int
+    windows: int
+    t_end: float
+    wall_seconds: float
+    merged: MergedStats
+    link_messages: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    @property
+    def events_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.merged.events_executed / self.wall_seconds
+
+
+# ----------------------------------------------------------------------
+# Shared pieces
+# ----------------------------------------------------------------------
+def _boundary_links(spec: ScenarioSpec) -> Dict[Tuple[int, int], BoundaryLink]:
+    return full_mesh(spec.n_partitions, spec.boundary_latency_s)
+
+
+def _lookahead(spec: ScenarioSpec, links) -> float:
+    derived = derive_lookahead(links.values())
+    if derived == float("inf"):  # single partition: no boundary constraint
+        return spec.boundary_latency_s
+    return derived
+
+
+def _audit_partition(part, t_end: float, audit: str) -> None:
+    if audit == "off":
+        return
+    report = audit_run(
+        part.engine,
+        servers=part.servers,
+        scheduler=part.scheduler,
+        now=t_end,
+        **part.audit_kwargs(),
+    )
+    if not report.ok:
+        if audit == "strict":
+            report.raise_if_violated()
+        print(f"[repro.invariants] {report.render()}", file=sys.stderr)
+
+
+def _route(msg: Message, edge: int, ledger: InFlightLedger, links) -> None:
+    if msg.due_edge < edge:
+        raise ProtocolError(
+            f"message {msg.kind!r} {msg.src_pid}->{msg.dst_pid} due at edge "
+            f"{msg.due_edge} collected at barrier {edge} — lookahead violated"
+        )
+    ledger.add(msg)
+    link = links.get((msg.src_pid, msg.dst_pid))
+    if link is not None:
+        link.record()
+
+
+# ----------------------------------------------------------------------
+# Inline serial path (shards == 1): every partition on one engine
+# ----------------------------------------------------------------------
+def _run_inline(spec: ScenarioSpec, plan: ShardPlan):
+    engine = Engine()
+    links = _boundary_links(spec)
+    lookahead = _lookahead(spec, links)
+    pids = list(range(spec.n_partitions))
+    endpoints = {
+        pid: ShardEndpoint(pid, spec.window_s, lookahead) for pid in pids
+    }
+    parts = {
+        pid: build_partition(spec, plan, pid, engine, endpoints[pid])
+        for pid in pids
+    }
+    for pid in pids:
+        parts[pid].start()
+
+    ledger = InFlightLedger()
+    controller = BarrierController(
+        drain_window_count(spec.drain_s, spec.window_s), spec.max_windows
+    )
+    edge = 0
+    while True:
+        edge += 1
+        t_edge = edge * spec.window_s
+        engine.run_until(t_edge)
+        outgoing: List[Message] = []
+        for pid in pids:
+            outgoing.extend(endpoints[pid].drain_outbox())
+        all_ready = all(parts[pid].ready(t_edge) for pid in pids)
+        for msg in outgoing:
+            _route(msg, edge, ledger, links)
+            endpoints[msg.dst_pid].deposit(msg)
+        for pid in pids:
+            endpoints[pid].deliver(edge, parts[pid].on_message)
+        ledger.pop_edge(edge)
+        quiesce_now, stop_now = controller.decide(
+            edge, all_ready, ledger.in_flight_after(edge)
+        )
+        if quiesce_now:
+            for pid in pids:
+                parts[pid].quiesce()
+        if stop_now:
+            t_end = t_edge
+            break
+
+    for pid in pids:
+        _audit_partition(parts[pid], t_end, spec.audit)
+    snapshots = [parts[pid].snapshot(t_end) for pid in pids]
+    link_messages = {key: link.messages for key, link in links.items()}
+    return snapshots, [engine.events_executed], edge, t_end, link_messages
+
+
+# ----------------------------------------------------------------------
+# Worker process (shards > 1)
+# ----------------------------------------------------------------------
+def _fire_chaos(spec: ScenarioSpec, pids: List[int], edge: int) -> None:
+    for cpid, cwindow, action in spec.chaos:
+        if cpid in pids and cwindow == edge:
+            if action == "exit":
+                os._exit(23)
+            if action == "raise":
+                raise RuntimeError(
+                    f"chaos: partition {cpid} raised at window {edge}"
+                )
+            if action == "hang":
+                time.sleep(3600.0)
+
+
+def _shard_worker_main(conn, spec: ScenarioSpec, pids: List[int]) -> None:
+    edge = 0
+    try:
+        plan = spec.plan(n_workers=1)  # layout is worker-count independent
+        engine = Engine()
+        links = _boundary_links(spec)
+        lookahead = _lookahead(spec, links)
+        endpoints = {
+            pid: ShardEndpoint(pid, spec.window_s, lookahead) for pid in pids
+        }
+        parts = {
+            pid: build_partition(spec, plan, pid, engine, endpoints[pid])
+            for pid in pids
+        }
+        for pid in pids:
+            parts[pid].start()
+
+        t_end: Optional[float] = None
+        while True:
+            edge += 1
+            t_edge = edge * spec.window_s
+            engine.run_until(t_edge)
+            _fire_chaos(spec, pids, edge)
+            outgoing: List[Message] = []
+            for pid in pids:
+                outgoing.extend(endpoints[pid].drain_outbox())
+            all_ready = all(parts[pid].ready(t_edge) for pid in pids)
+            conn.send(("window", edge, outgoing, all_ready))
+            cmd = conn.recv()
+            op = cmd[0]
+            if op in ("deliver", "stop"):
+                for msg in cmd[1]:
+                    endpoints[msg.dst_pid].deposit(msg)
+                for pid in pids:
+                    endpoints[pid].deliver(edge, parts[pid].on_message)
+            if op == "deliver":
+                if cmd[2]:  # quiesce after this edge's deliveries
+                    for pid in pids:
+                        parts[pid].quiesce()
+            elif op == "stop":
+                t_end = cmd[2]
+                break
+            else:
+                raise ProtocolError(f"unknown coordinator command {op!r}")
+
+        for pid in pids:
+            _audit_partition(parts[pid], t_end, spec.audit)
+        snapshots = [parts[pid].snapshot(t_end) for pid in pids]
+        conn.send(("done", snapshots, engine.events_executed))
+    except Exception:
+        try:
+            conn.send(("error", edge, traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # parent already gone
+            pass
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Coordinator (shards > 1)
+# ----------------------------------------------------------------------
+def _recv_checked(conn, proc, worker: int, window: int, timeout_s: float):
+    """Bounded pipe read that turns worker death into a structured error."""
+    if not conn.poll(timeout_s):
+        state = "alive but unresponsive" if proc.is_alive() else (
+            f"dead (exitcode {proc.exitcode})"
+        )
+        raise ShardCrashError(
+            worker, window,
+            f"no barrier message within {timeout_s:.0f}s; process {state}",
+        )
+    try:
+        return conn.recv()
+    except (EOFError, ConnectionResetError):
+        proc.join(timeout=1.0)
+        raise ShardCrashError(
+            worker, window,
+            f"pipe closed mid-window (exitcode {proc.exitcode})",
+        ) from None
+
+
+def _run_coordinated(spec: ScenarioSpec, plan: ShardPlan, barrier_timeout_s: float):
+    import multiprocessing as mp
+
+    ctx = mp.get_context("spawn")
+    n_workers = plan.n_workers
+    worker_pids = [plan.partitions_of_worker(w) for w in range(n_workers)]
+    pid_to_worker = {
+        pid: w for w, pids in enumerate(worker_pids) for pid in pids
+    }
+
+    conns, procs = [], []
+    links = _boundary_links(spec)
+    ledger = InFlightLedger()
+    controller = BarrierController(
+        drain_window_count(spec.drain_s, spec.window_s), spec.max_windows
+    )
+    #: messages held until their due edge: edge -> worker -> [Message]
+    pending: Dict[int, Dict[int, List[Message]]] = {}
+
+    try:
+        for w in range(n_workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_shard_worker_main,
+                args=(child_conn, spec, worker_pids[w]),
+                name=f"repro-shard-{w}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+
+        edge = 0
+        while True:
+            edge += 1
+            reports = []
+            for w in range(n_workers):
+                msg = _recv_checked(conns[w], procs[w], w, edge, barrier_timeout_s)
+                if msg[0] == "error":
+                    raise ShardError(w, msg[1], msg[2])
+                if msg[0] != "window" or msg[1] != edge:
+                    raise ProtocolError(
+                        f"shard {w} out of step: expected window {edge}, got {msg[:2]}"
+                    )
+                reports.append(msg)
+            all_ready = all(r[3] for r in reports)
+            for r in reports:
+                for msg in r[2]:
+                    _route(msg, edge, ledger, links)
+                    pending.setdefault(msg.due_edge, {}).setdefault(
+                        pid_to_worker[msg.dst_pid], []
+                    ).append(msg)
+            due_now = pending.pop(edge, {})
+            ledger.pop_edge(edge)
+            quiesce_now, stop_now = controller.decide(
+                edge, all_ready, ledger.in_flight_after(edge)
+            )
+            if stop_now:
+                t_end = edge * spec.window_s
+                for w in range(n_workers):
+                    conns[w].send(("stop", due_now.get(w, []), t_end))
+                break
+            for w in range(n_workers):
+                conns[w].send(("deliver", due_now.get(w, []), quiesce_now))
+
+        snapshots: List[dict] = []
+        engine_events: List[int] = []
+        for w in range(n_workers):
+            msg = _recv_checked(conns[w], procs[w], w, edge, barrier_timeout_s)
+            if msg[0] == "error":
+                raise ShardError(w, msg[1], msg[2])
+            if msg[0] != "done":
+                raise ProtocolError(f"shard {w} sent {msg[0]!r} instead of results")
+            snapshots.extend(msg[1])
+            engine_events.append(msg[2])
+        for proc in procs:
+            proc.join(timeout=5.0)
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for conn in conns:
+            conn.close()
+
+    link_messages = {key: link.messages for key, link in links.items()}
+    return snapshots, engine_events, edge, t_end, link_messages
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def run_sharded(
+    spec: ScenarioSpec,
+    shards: int = 1,
+    barrier_timeout_s: float = DEFAULT_BARRIER_TIMEOUT_S,
+) -> ShardRunResult:
+    """Execute ``spec`` on ``shards`` worker processes (1 = inline serial).
+
+    Merged results are bit-identical across every legal ``shards`` value;
+    the shard count only changes wall-clock time.
+    """
+    plan = spec.plan(n_workers=shards)
+    start = time.perf_counter()
+    if shards == 1:
+        snapshots, events, windows, t_end, link_messages = _run_inline(spec, plan)
+    else:
+        snapshots, events, windows, t_end, link_messages = _run_coordinated(
+            spec, plan, barrier_timeout_s
+        )
+    wall = time.perf_counter() - start
+
+    merged = merge_snapshots(spec.name, snapshots, events, t_end, windows)
+    if spec.audit != "off":
+        report = audit_parallel(snapshots, spec.window_s, t_end)
+        if not report.ok:
+            if spec.audit == "strict":
+                report.raise_if_violated()
+            print(f"[repro.invariants] {report.render()}", file=sys.stderr)
+    return ShardRunResult(
+        spec=spec,
+        shards=shards,
+        windows=windows,
+        t_end=t_end,
+        wall_seconds=wall,
+        merged=merged,
+        link_messages=link_messages,
+    )

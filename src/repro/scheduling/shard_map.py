@@ -1,0 +1,106 @@
+"""Partition layout and dispatch routing for the sharded runtime.
+
+The sharded runtime (:mod:`repro.parallel`) separates two concerns that are
+easy to conflate:
+
+* **Partitions** are a *model* parameter: the farm is split into ``P``
+  fixed server groups, and all cross-partition interaction goes through the
+  quantized boundary-message bus.  ``P`` is part of the scenario, so results
+  are a function of ``P`` alone.
+* **Shards** (worker processes) are an *execution* parameter: ``--shards N``
+  assigns the ``P`` partitions to ``N`` workers in contiguous blocks.  Any
+  ``N`` produces the same per-partition event streams — which is what makes
+  merged output bit-identical from ``--shards 1`` up to ``--shards P``.
+
+:class:`ShardPlan` owns both mappings plus the front end's job→partition
+routing (deterministic round-robin, so the reference serial run and every
+sharded run dispatch identically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Contiguous, balanced layout of servers → partitions → workers."""
+
+    n_servers: int
+    n_partitions: int
+    n_workers: int
+
+    def __post_init__(self) -> None:
+        if self.n_partitions < 1:
+            raise ValueError(f"need >= 1 partition, got {self.n_partitions}")
+        if self.n_servers < self.n_partitions:
+            raise ValueError(
+                f"cannot split {self.n_servers} servers into "
+                f"{self.n_partitions} partitions"
+            )
+        if not 1 <= self.n_workers <= self.n_partitions:
+            raise ValueError(
+                f"workers must be in [1, n_partitions={self.n_partitions}], "
+                f"got {self.n_workers}"
+            )
+
+    # -- servers → partitions -------------------------------------------
+    def partition_range(self, pid: int) -> Tuple[int, int]:
+        """Global server-id range ``[lo, hi)`` owned by partition ``pid``.
+
+        Balanced contiguous split: the first ``n_servers % n_partitions``
+        partitions take one extra server.
+        """
+        self._check_pid(pid)
+        base, extra = divmod(self.n_servers, self.n_partitions)
+        lo = pid * base + min(pid, extra)
+        hi = lo + base + (1 if pid < extra else 0)
+        return lo, hi
+
+    def partition_size(self, pid: int) -> int:
+        lo, hi = self.partition_range(pid)
+        return hi - lo
+
+    def partition_of_server(self, server_id: int) -> int:
+        if not 0 <= server_id < self.n_servers:
+            raise ValueError(f"server id {server_id} out of range")
+        base, extra = divmod(self.n_servers, self.n_partitions)
+        # The first `extra` partitions have (base+1) servers.
+        boundary = extra * (base + 1)
+        if server_id < boundary:
+            return server_id // (base + 1)
+        return extra + (server_id - boundary) // base
+
+    # -- partitions → workers -------------------------------------------
+    def partitions_of_worker(self, worker: int) -> List[int]:
+        """Partition ids run by worker ``worker`` (contiguous block)."""
+        if not 0 <= worker < self.n_workers:
+            raise ValueError(f"worker {worker} out of range")
+        base, extra = divmod(self.n_partitions, self.n_workers)
+        lo = worker * base + min(worker, extra)
+        hi = lo + base + (1 if worker < extra else 0)
+        return list(range(lo, hi))
+
+    def worker_of_partition(self, pid: int) -> int:
+        self._check_pid(pid)
+        base, extra = divmod(self.n_partitions, self.n_workers)
+        boundary = extra * (base + 1)
+        if pid < boundary:
+            return pid // (base + 1)
+        return extra + (pid - boundary) // base
+
+    # -- front-end job routing ------------------------------------------
+    def route_job(self, job_index: int) -> int:
+        """Deterministic round-robin job→partition routing.
+
+        A pure function of the job index, so the serial reference and every
+        sharded execution route identically.
+        """
+        if job_index < 0:
+            raise ValueError(f"job index must be >= 0, got {job_index}")
+        return job_index % self.n_partitions
+
+    def _check_pid(self, pid: int) -> None:
+        if not 0 <= pid < self.n_partitions:
+            raise ValueError(f"partition {pid} out of range")

@@ -1,0 +1,45 @@
+"""Deterministic merge of per-shard trace streams.
+
+Each shard of a sharded run (:mod:`repro.parallel`) records telemetry into
+its own :class:`~repro.telemetry.trace.TraceRecorder`; trace ``seq_id``s are
+assigned in first-touch order *within* a shard, so a single globally-ordered
+stream must be reassembled explicitly.  :func:`merge_shard_traces` does the
+canonical ``(timestamp, shard, arrival-order)`` interleave: events from
+different shards are ordered by simulated time, ties broken by shard id, and
+each shard's internal order is preserved — a pure function of the
+per-partition streams, independent of worker packing.
+
+Scope note: the *hard* bit-identity guarantee of the sharded runtime covers
+merged stats and the boundary-message journal (see
+:mod:`repro.parallel.merge`); merged traces are deterministic given the same
+per-shard streams, but per-shard ``seq_id`` numbering itself depends on the
+partition layout, exactly as documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.telemetry.trace import Event
+
+
+def merge_shard_traces(
+    per_shard: Dict[int, Sequence[Event]],
+) -> List[Tuple[int, Event]]:
+    """Interleave per-shard event streams into one global stream.
+
+    Args:
+        per_shard: mapping of shard id → that shard's events in recording
+            order (each stream must be time-sorted, which recorders
+            guarantee for monotone engines).
+
+    Returns:
+        ``(shard_id, event)`` pairs sorted by ``(ts, shard, arrival order)``.
+        The shard id rides along so exporters can namespace track names.
+    """
+    tagged: List[Tuple[float, int, int, Event]] = []
+    for shard in sorted(per_shard):
+        for order, event in enumerate(per_shard[shard]):
+            tagged.append((event[0], shard, order, event))
+    tagged.sort(key=lambda item: (item[0], item[1], item[2]))
+    return [(shard, event) for _, shard, _, event in tagged]

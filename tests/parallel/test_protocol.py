@@ -1,0 +1,205 @@
+"""Unit tests for the conservative-window protocol primitives.
+
+Covers the delivery-edge math (including the directed exactly-on-an-edge
+case), endpoint ordering and journaling, the in-flight ledger, the barrier
+state machine, the shard layout map, and boundary-link lookahead derivation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.boundary import BoundaryLink, derive_lookahead, full_mesh
+from repro.parallel.protocol import (
+    BarrierController,
+    InFlightLedger,
+    Message,
+    ProtocolError,
+    ShardEndpoint,
+    delivery_edge_index,
+    drain_window_count,
+)
+from repro.scheduling.shard_map import ShardPlan
+
+
+class TestDeliveryEdgeIndex:
+    def test_mid_window_send_lands_two_edges_later(self):
+        # t strictly inside window 3 with L == W: t + L is inside window 4,
+        # so the first edge at or after it is edge 5.
+        assert delivery_edge_index(3.5, 1.0, 1.0) == 5
+
+    def test_send_exactly_on_edge_lands_next_edge(self):
+        # The directed boundary case: a send at exactly t == k*W with L == W
+        # has t + L == (k+1)*W, an exact edge — it must land there, not one
+        # edge later.
+        for k in range(6):
+            assert delivery_edge_index(k * 1.0, 1.0, 1.0) == k + 1
+        # And at the sub-millisecond window the scalability scenario uses.
+        assert delivery_edge_index(3e-3, 1e-3, 1e-3) == 4
+
+    def test_lookahead_contract_holds_across_floats(self):
+        # Property: delivery time is never earlier than t + L, even when
+        # (t + L)/W rounds just below an integer.
+        w, lookahead = 1e-3, 1e-3
+        for i in range(1, 2000):
+            t = i * 7e-4
+            edge = delivery_edge_index(t, lookahead, w)
+            assert edge * w >= t + lookahead
+            assert (edge - 1) * w < t + lookahead or edge == 1
+
+    def test_rejects_non_positive_window_and_lookahead(self):
+        with pytest.raises(ProtocolError):
+            delivery_edge_index(0.0, 1.0, 0.0)
+        with pytest.raises(ProtocolError):
+            delivery_edge_index(0.0, 0.0, 1.0)
+
+
+class TestShardEndpoint:
+    def _endpoint(self, pid=0, now=0.0):
+        ep = ShardEndpoint(pid, window_s=1.0, lookahead_s=1.0)
+        ep.now = lambda: now
+        return ep
+
+    def test_send_buffers_and_drain_empties(self):
+        ep = self._endpoint(now=0.5)
+        msg = ep.send(1, "job", (7,))
+        assert msg.due_edge == 2 and msg.dst_pid == 1 and msg.src_seq == 0
+        assert ep.sent == 1
+        assert ep.drain_outbox() == [msg]
+        assert ep.drain_outbox() == []
+
+    def test_deposit_rejects_wrong_destination(self):
+        ep = self._endpoint(pid=0)
+        stray = Message(1, 2, 0, 0, "job", ())
+        with pytest.raises(ProtocolError):
+            ep.deposit(stray)
+
+    def test_deliver_applies_src_pid_src_seq_order(self):
+        ep = self._endpoint(pid=0)
+        # Deposit out of order from two sources; delivery must sort.
+        for msg in (
+            Message(1, 0, 2, 0, "ack", ("b",)),
+            Message(1, 0, 1, 1, "ack", ("a1",)),
+            Message(1, 0, 1, 0, "ack", ("a0",)),
+        ):
+            ep.deposit(msg)
+        seen = []
+        assert ep.deliver(1, lambda m: seen.append(m.payload[0])) == 3
+        assert seen == ["a0", "a1", "b"]
+        assert ep.received == 3
+        assert ep.pending_messages() == 0
+
+    def test_journal_records_sends_and_recvs_at_canonical_times(self):
+        ep = self._endpoint(pid=3, now=0.25)
+        ep.send(1, "job", (9,))
+        ep.deposit(Message(2, 3, 1, 0, "ack", (9, 1)))
+        ep.deliver(2, lambda m: None)
+        assert ep.journal[0] == (0.25, 3, 0, "send", (1, "job", 2, 9))
+        # Receives are journaled at the edge time, not the send time.
+        assert ep.journal[1] == (2.0, 3, 1, "recv", (1, 0, "ack", 9, 1))
+
+
+class TestInFlightLedger:
+    def test_counts_only_messages_due_after_edge(self):
+        ledger = InFlightLedger()
+        ledger.add(Message(2, 0, 1, 0, "job", ()))
+        ledger.add(Message(3, 0, 1, 1, "job", ()))
+        assert ledger.in_flight_after(1) == 2
+        assert ledger.in_flight_after(2) == 1
+        ledger.pop_edge(2)
+        assert ledger.in_flight_after(1) == 1
+        assert ledger.in_flight_after(3) == 0
+
+
+class TestBarrierController:
+    def test_requires_at_least_one_drain_window(self):
+        with pytest.raises(ProtocolError):
+            BarrierController(0, 100)
+
+    def test_stays_running_while_messages_in_flight(self):
+        ctl = BarrierController(2, 100)
+        assert ctl.decide(1, True, in_flight=3) == (False, False)
+        assert ctl.state == BarrierController.RUNNING
+
+    def test_two_phase_drain_then_unconditional_stop(self):
+        ctl = BarrierController(2, 100)
+        assert ctl.decide(1, False, 0) == (False, False)
+        # Quiesce fires exactly once, at the transition edge.
+        assert ctl.decide(2, True, 0) == (True, False)
+        assert ctl.stop_edge == 4
+        # Readiness afterwards is irrelevant: the stop edge is fixed.
+        assert ctl.decide(3, False, 5) == (False, False)
+        assert ctl.decide(4, False, 5) == (False, True)
+
+    def test_raises_past_max_windows_without_quiescence(self):
+        ctl = BarrierController(1, max_windows=3)
+        with pytest.raises(ProtocolError):
+            for edge in range(1, 10):
+                ctl.decide(edge, False, 1)
+
+    def test_drain_window_count_rounds_up(self):
+        assert drain_window_count(2e-3, 1e-3) == 2
+        assert drain_window_count(0.5, 0.25) == 2
+        assert drain_window_count(0.0, 1.0) == 1
+        assert drain_window_count(1.1, 1.0) == 2
+
+
+class TestShardPlan:
+    def test_balanced_contiguous_partition_ranges(self):
+        plan = ShardPlan(n_servers=10, n_partitions=4, n_workers=2)
+        ranges = [plan.partition_range(pid) for pid in range(4)]
+        assert ranges == [(0, 3), (3, 6), (6, 8), (8, 10)]
+        assert sum(plan.partition_size(pid) for pid in range(4)) == 10
+
+    def test_partition_of_server_inverts_ranges(self):
+        plan = ShardPlan(n_servers=10, n_partitions=4, n_workers=2)
+        for pid in range(4):
+            lo, hi = plan.partition_range(pid)
+            for s in range(lo, hi):
+                assert plan.partition_of_server(s) == pid
+
+    def test_worker_packing_is_contiguous_and_total(self):
+        plan = ShardPlan(n_servers=64, n_partitions=5, n_workers=2)
+        blocks = [plan.partitions_of_worker(w) for w in range(2)]
+        assert blocks == [[0, 1, 2], [3, 4]]
+        for w, pids in enumerate(blocks):
+            for pid in pids:
+                assert plan.worker_of_partition(pid) == w
+
+    def test_route_job_round_robin(self):
+        plan = ShardPlan(n_servers=8, n_partitions=4, n_workers=1)
+        assert [plan.route_job(i) for i in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_validates_shape(self):
+        with pytest.raises(ValueError):
+            ShardPlan(n_servers=4, n_partitions=8, n_workers=1)
+        with pytest.raises(ValueError):
+            ShardPlan(n_servers=8, n_partitions=4, n_workers=5)
+        with pytest.raises(ValueError):
+            ShardPlan(n_servers=8, n_partitions=4, n_workers=0)
+
+
+class TestBoundaryLinks:
+    def test_full_mesh_has_no_self_links(self):
+        links = full_mesh(3, 0.25)
+        assert len(links) == 6
+        assert all(src != dst for src, dst in links)
+        assert all(link.propagation_s == 0.25 for link in links.values())
+
+    def test_lookahead_is_minimum_propagation(self):
+        links = {
+            (0, 1): BoundaryLink(0, 1, 0.5),
+            (1, 0): BoundaryLink(1, 0, 0.125),
+        }
+        assert derive_lookahead(links.values()) == 0.125
+        assert derive_lookahead([]) == float("inf")
+
+    def test_rejects_non_positive_propagation(self):
+        with pytest.raises(ValueError):
+            BoundaryLink(0, 1, 0.0)
+
+    def test_record_counts_traffic(self):
+        link = BoundaryLink(0, 1, 0.1)
+        link.record()
+        link.record()
+        assert link.messages == 2
