@@ -16,11 +16,21 @@ the paper's figure reports::
     python -m repro faults --mtbfs 120 60 30 --retry-limit 3
     python -m repro bench --quick
 
-``--shards N`` (on ``scalability`` and ``joint``) runs the conservative
-time-window shard engine (:mod:`repro.parallel`): the farm is split into
-``--partitions`` model partitions packed onto ``N`` worker processes, and
-the merged report is bit-identical for every shard count — only wall-clock
-changes.  The ``merged ...`` lines it prints are the CI diff surface.
+``--shards N`` (on ``scalability``, ``joint``, ``faults``, and
+``facility-carbon``) runs the conservative time-window shard engine
+(:mod:`repro.parallel`): the farm is split into ``--partitions`` model
+partitions packed onto ``N`` worker processes, and the merged report is
+bit-identical for every shard count — only wall-clock changes.  The
+``merged ...`` lines it prints are the CI diff surface.
+
+The same four subcommands take the durable-run flags
+(:mod:`repro.checkpoint`): ``--checkpoint PATH --checkpoint-every T``
+snapshots the whole simulation world atomically every T simulated
+seconds, ``--restore-from PATH`` resumes bit-identically from the last
+barrier cut, and ``--shard-retries N`` self-heals crashed shard workers
+from an in-memory snapshot.  SIGINT/SIGTERM on a durable run cut a final
+checkpoint and exit 130 with the exact resume command; a locked
+checkpoint or journal (another live run) fails fast with exit 2.
 
 Every subcommand accepts ``--jobs N`` to evaluate independent sweep points
 on N worker processes (results are bit-identical to ``--jobs 1``; commands
@@ -43,6 +53,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.checkpoint import LockHeldError
 from repro.runner import SweepInterrupted, SweepOptions
 from repro.experiments import (
     adaptive,
@@ -55,6 +66,9 @@ from repro.experiments import (
     validation_server,
     validation_switch,
 )
+# Safe to import eagerly here: repro.experiments (above) is already loaded,
+# so repro.parallel.scenarios' import of resolve_pool cannot cycle.
+from repro.parallel import DurabilityOptions, RunInterrupted
 from repro.workload.profiles import (
     WorkloadProfile,
     web_search_profile,
@@ -102,6 +116,28 @@ def _sweep_options(args: argparse.Namespace) -> Optional[SweepOptions]:
         journal_path=args.journal,
         resume=args.resume,
         trace_dir=args.trace_dir,
+        trace_fsync=args.trace_fsync,
+    )
+
+
+def _durability(args: argparse.Namespace) -> Optional[DurabilityOptions]:
+    """Build a durability policy from the shard-engine flags; None when untouched."""
+    if not hasattr(args, "checkpoint"):
+        return None
+    if args.checkpoint_every and not args.checkpoint:
+        raise SystemExit("--checkpoint-every requires --checkpoint PATH")
+    if not (
+        args.checkpoint or args.restore_from or args.shard_retries
+        or args.stop_after_windows is not None
+    ):
+        return None
+    return DurabilityOptions(
+        checkpoint_path=args.checkpoint,
+        checkpoint_every_s=args.checkpoint_every,
+        restore_from=args.restore_from,
+        heal_retries=args.shard_retries,
+        heal_backoff_s=args.shard_retry_backoff,
+        stop_after_windows=args.stop_after_windows,
     )
 
 
@@ -116,6 +152,7 @@ def _make_telemetry_session(args: argparse.Namespace):
         categories=tuple(args.trace_categories) if args.trace_categories else None,
         metrics=bool(args.metrics),
         profile=bool(args.profile),
+        fsync=args.trace_fsync,
     )
 
 
@@ -265,25 +302,32 @@ def _print_sharded(result) -> None:
     """Report one shard-engine run: merged lines (the CI diff surface) on
     stdout, the timing line separately since wall-clock is never stable."""
     print(result.merged.render())
+    extras = ""
+    if result.restored_edge is not None:
+        extras += f" restored-from-window={result.restored_edge}"
+    if result.heals:
+        extras += f" heals={result.heals}"
     print(
         f"sharded shards={result.shards} "
         f"partitions={result.spec.n_partitions} "
         f"windows={result.windows} wall={result.wall_seconds:.2f}s "
-        f"({result.events_per_second:,.0f} events/s)"
+        f"({result.events_per_second:,.0f} events/s){extras}"
     )
 
 
 def _cmd_joint(args: argparse.Namespace) -> None:
-    if args.shards is not None:
+    durability = _durability(args)
+    if args.shards is not None or durability is not None:
         _print_sharded(
             joint_energy.run_joint_sharded(
-                shards=args.shards,
+                shards=args.shards if args.shards is not None else 1,
                 partitions=args.partitions,
                 n_jobs=args.num_jobs,
                 utilization=args.utilizations[0],
                 k=args.fat_tree_k,
                 seed=args.seed,
                 audit=_audit_mode(args),
+                durability=durability,
             )
         )
         return
@@ -319,6 +363,19 @@ def _cmd_validate_switch(args: argparse.Namespace) -> None:
 
 
 def _cmd_faults(args: argparse.Namespace) -> None:
+    durability = _durability(args)
+    if args.shards is not None or durability is not None:
+        _print_sharded(
+            fault_resilience.run_fault_resilience_sharded(
+                n_servers=args.servers,
+                shards=args.shards if args.shards is not None else 1,
+                partitions=args.partitions,
+                seed=args.seed,
+                audit=_audit_mode(args),
+                durability=durability,
+            )
+        )
+        return
     sweep = fault_resilience.run_fault_resilience_sweep(
         mtbf_values=args.mtbfs,
         mttr_s=args.mttr,
@@ -338,6 +395,21 @@ def _cmd_faults(args: argparse.Namespace) -> None:
 
 
 def _cmd_facility_carbon(args: argparse.Namespace) -> None:
+    durability = _durability(args)
+    if args.shards is not None or durability is not None:
+        _print_sharded(
+            facility_carbon.run_facility_carbon_sharded(
+                n_servers=args.servers,
+                shards=args.shards if args.shards is not None else 1,
+                partitions=args.partitions,
+                setpoint_c=args.setpoints[0],
+                carbon=args.carbon[0],
+                seed=args.seed,
+                audit=_audit_mode(args),
+                durability=durability,
+            )
+        )
+        return
     sweep = facility_carbon.run_facility_carbon_sweep(
         setpoints_c=args.setpoints,
         carbon_profiles=args.carbon,
@@ -362,16 +434,18 @@ def _cmd_scalability(args: argparse.Namespace) -> None:
         pool = False
     else:
         pool = "auto"
-    if args.shards is not None:
+    durability = _durability(args)
+    if args.shards is not None or durability is not None:
         _print_sharded(
             scalability.run_scalability_sharded(
                 n_servers=args.servers,
                 n_jobs=args.num_jobs,
-                shards=args.shards,
+                shards=args.shards if args.shards is not None else 1,
                 partitions=args.partitions,
                 seed=args.seed,
                 pool="on" if pool is True else "off" if pool is False else pool,
                 audit=_audit_mode(args),
+                durability=durability,
             )
         )
         return
@@ -481,6 +555,51 @@ def build_parser() -> argparse.ArgumentParser:
                  "trace of a failed/timed-out/killed point survives for "
                  "inspection, successful points' files are removed",
         )
+        observability.add_argument(
+            "--trace-fsync", action="store_true",
+            help="fsync telemetry JSONL streams on every flush so trace "
+                 "lines survive power loss, not just process death "
+                 "(slower; default: flush to the page cache only)",
+        )
+
+    def durable(p: argparse.ArgumentParser) -> None:
+        group = p.add_argument_group(
+            "durable runs",
+            "intra-run checkpoint/restore and shard self-healing on the "
+            "shard engine (flags imply --shards 1 when --shards is absent)",
+        )
+        group.add_argument(
+            "--checkpoint", default=None, metavar="PATH",
+            help="write full-state checkpoints to PATH (atomic replace); "
+                 "also written on SIGINT/SIGTERM before exiting 130",
+        )
+        group.add_argument(
+            "--checkpoint-every", type=float, default=0.0, metavar="T",
+            help="checkpoint every T simulated seconds (quantized to window "
+                 "barriers); requires --checkpoint. 0 = only on interrupt",
+        )
+        group.add_argument(
+            "--restore-from", default=None, metavar="PATH",
+            help="resume from a checkpoint; the continued run is "
+                 "bit-identical to an uninterrupted one. Refuses a "
+                 "checkpoint whose scenario fingerprint or shard layout "
+                 "does not match this invocation",
+        )
+        group.add_argument(
+            "--shard-retries", type=int, default=0, metavar="N",
+            help="self-heal up to N shard crashes/failures by respawning "
+                 "every worker from the last barrier snapshot "
+                 "(default: a dead shard aborts the run)",
+        )
+        group.add_argument(
+            "--shard-retry-backoff", type=float, default=0.5, metavar="S",
+            help="initial delay before a respawn, doubled per heal",
+        )
+        group.add_argument(
+            "--stop-after-windows", type=int, default=None, metavar="N",
+            help="stop with a final checkpoint after N window barriers "
+                 "(for smoke-testing the restore path)",
+        )
 
     p = sub.add_parser("provisioning", help="Fig. 4: threshold provisioning")
     p.add_argument("--servers", type=int, default=50)
@@ -542,6 +661,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "cluster each; part of the scenario, not the "
                         "execution)")
     common(p)
+    durable(p)
     p.set_defaults(fn=_cmd_joint)
 
     p = sub.add_parser("validate-server", help="Fig. 12: server power validation")
@@ -571,7 +691,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="re-dispatch attempts before a task's job is failed")
     p.add_argument("--slo", type=float, default=None,
                    help="count jobs slower than this latency (s) as SLO violations")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="run the fault-injection reference scenario on the "
+                        "shard engine with N worker processes instead of the "
+                        "MTBF sweep; merged results are bit-identical across N")
+    p.add_argument("--partitions", type=int, default=4, metavar="P",
+                   help="model partitions for --shards (each with its own "
+                        "fault injector; part of the scenario, not the "
+                        "execution)")
     common(p)
+    durable(p)
     p.set_defaults(fn=_cmd_faults)
 
     p = sub.add_parser(
@@ -594,7 +723,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=40.0)
     p.add_argument("--thermal-limit", type=float, default=45.0,
                    help="zone temperature (°C) at which DVFS throttling engages")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="run the facility reference scenario on the shard "
+                        "engine with N worker processes instead of the "
+                        "setpoint × carbon sweep (first --setpoints and "
+                        "--carbon values); merged results are bit-identical "
+                        "across N")
+    p.add_argument("--partitions", type=int, default=4, metavar="P",
+                   help="model partitions for --shards (each with its own "
+                        "thermal/cooling loop; part of the scenario, not "
+                        "the execution)")
     common(p)
+    durable(p)
     p.set_defaults(fn=_cmd_facility_carbon)
 
     p = sub.add_parser("scalability", help="Table I: >20K-server scalability")
@@ -621,6 +761,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "scenario — changing it changes results; changing "
                         "--shards never does)")
     common(p)
+    durable(p)
     p.set_defaults(fn=_cmd_scalability)
 
     p = sub.add_parser(
@@ -654,12 +795,19 @@ def main(argv: Optional[List[str]] = None) -> None:
             from repro.telemetry import session as telemetry
 
             prev = telemetry.activate(sess)
+            interrupted: Optional[RunInterrupted] = None
             try:
                 args.fn(args)
+            except RunInterrupted as exc:
+                # The final checkpoint is already on disk; flush telemetry
+                # too so an interrupted run loses nothing observable.
+                interrupted = exc
             finally:
                 telemetry.deactivate(prev)
                 sess.close()
             _export_telemetry(args, sess)
+            if interrupted is not None:
+                raise interrupted
     except SweepInterrupted as exc:
         print(
             f"\ninterrupted: {exc.completed}/{exc.total} sweep points completed",
@@ -672,6 +820,19 @@ def main(argv: Optional[List[str]] = None) -> None:
                 file=sys.stderr,
             )
         raise SystemExit(130)
+    except RunInterrupted as exc:
+        print(f"\n{exc}", file=sys.stderr)
+        if exc.checkpoint_path:
+            print(
+                f"rerun with --restore-from {exc.checkpoint_path} to continue "
+                f"from window {exc.edge}; the completed run is bit-identical "
+                f"to an uninterrupted one",
+                file=sys.stderr,
+            )
+        raise SystemExit(130)
+    except LockHeldError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
 
 
 if __name__ == "__main__":  # pragma: no cover

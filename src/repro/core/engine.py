@@ -369,6 +369,63 @@ class Engine:
         return self._stopped
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle support for whole-world checkpoints.
+
+        The dispatch hook is observer wiring (a profiler or trace recorder,
+        possibly holding open file handles) — never simulated state — so it
+        is dropped; a restored run re-installs its own observers.
+        """
+        state = self.__dict__.copy()
+        state["_dispatch_hook"] = None
+        state["_running"] = False
+        return state
+
+    def snapshot(self) -> dict:
+        """Capture the engine's complete dynamic state for checkpointing.
+
+        Returns a plain dict (clock, sequence counter, heap entries,
+        cancellation bookkeeping, event count) that :meth:`restore` accepts.
+        The heap entries are shared, not copied: callbacks and
+        :class:`EventHandle` objects are aliased by the snapshot, so a
+        durable checkpoint must pickle the engine *together with* the model
+        objects those callbacks close over — one ``pickle.dumps`` of the
+        whole world, which is exactly what :mod:`repro.checkpoint` does.
+        The dispatch hook is deliberately excluded: it is observer wiring
+        (telemetry/profiling), not simulated state.
+        """
+        if self._running:
+            raise SimulationError("cannot snapshot while Engine.run() is executing")
+        return {
+            "now": self._now,
+            "seq": self._seq,
+            "heap": list(self._heap),
+            "cancelled": self._cancelled,
+            "stopped": self._stopped,
+            "events_executed": self.events_executed,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt a state captured by :meth:`snapshot`.
+
+        The heap list is re-heapified defensively (snapshot order is already
+        a valid heap, so this is O(n) and changes nothing) and the installed
+        dispatch hook is left untouched — a restored run re-attaches its own
+        observers.
+        """
+        if self._running:
+            raise SimulationError("cannot restore while Engine.run() is executing")
+        self._now = float(state["now"])
+        self._seq = int(state["seq"])
+        self._heap = list(state["heap"])
+        heapq.heapify(self._heap)
+        self._cancelled = int(state["cancelled"])
+        self._stopped = bool(state["stopped"])
+        self.events_executed = int(state["events_executed"])
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def pending_count(self) -> int:

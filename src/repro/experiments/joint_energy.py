@@ -320,14 +320,16 @@ def run_joint_sharded(
     mode: str = "network-aware",
     seed: int = 11,
     audit: str = "warn",
+    durability=None,
 ):
     """Run the joint-energy scenario on the conservative-window shard engine.
 
     Each partition hosts its own fat-tree(``k``) cluster (``k**3 / 4``
     servers), so the farm size is ``partitions * k**3 / 4``.  ``partitions``
     fixes the model; ``shards`` only changes which processes advance it —
-    merged stats are bit-identical across shard counts.  Returns a
-    :class:`repro.parallel.ShardRunResult`.
+    merged stats are bit-identical across shard counts.  ``durability``
+    (a :class:`repro.parallel.DurabilityOptions`) enables checkpoint/restore
+    and shard self-healing.  Returns a :class:`repro.parallel.ShardRunResult`.
     """
     from repro.parallel import joint_spec, run_sharded
 
@@ -340,4 +342,4 @@ def run_joint_sharded(
         seed=seed,
         audit=audit,
     )
-    return run_sharded(spec, shards=shards)
+    return run_sharded(spec, shards=shards, durability=durability)

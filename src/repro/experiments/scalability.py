@@ -145,13 +145,15 @@ def run_scalability_sharded(
     seed: int = 13,
     pool: str = "auto",
     audit: str = "warn",
+    durability=None,
 ):
     """Run the scalability scenario on the conservative-window shard engine.
 
     ``partitions`` is a *model* parameter (it fixes the boundary topology and
     therefore the results); ``shards`` is purely an *execution* parameter —
-    merged stats are bit-identical for every legal value.  Returns a
-    :class:`repro.parallel.ShardRunResult`.
+    merged stats are bit-identical for every legal value.  ``durability``
+    (a :class:`repro.parallel.DurabilityOptions`) enables checkpoint/restore
+    and shard self-healing.  Returns a :class:`repro.parallel.ShardRunResult`.
     """
     # Imported lazily: repro.parallel.scenarios imports resolve_pool from here.
     from repro.parallel import run_sharded, scalability_spec
@@ -165,7 +167,7 @@ def run_scalability_sharded(
         pool=pool,
         audit=audit,
     )
-    return run_sharded(spec, shards=shards)
+    return run_sharded(spec, shards=shards, durability=durability)
 
 
 @dataclass

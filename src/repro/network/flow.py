@@ -61,8 +61,13 @@ class Flow:
         size_bits: float,
         callback: Callable[[], None],
         created_at: float,
+        flow_id: Optional[int] = None,
     ):
-        self.flow_id = next(Flow._ids)
+        # A FlowNetwork allocates ids from its own counter so restored
+        # checkpoints (which reset the process-global itertools.count) can
+        # never collide with in-flight flows; the class counter remains the
+        # fallback for directly constructed flows.
+        self.flow_id = next(Flow._ids) if flow_id is None else flow_id
         self.src = src
         self.dst = dst
         self.path = path
@@ -173,6 +178,7 @@ class FlowNetwork:
         # resume via retry_stranded() once a repair restores a path.
         self._stranded: List[Flow] = []
         self._transfer_seq = 0
+        self._flow_seq = 0
         self.flows_completed = 0
         self.flows_rerouted = 0
         self.flows_stranded = 0
@@ -229,7 +235,11 @@ class FlowNetwork:
         hops = self.router.links_on_path(path)
         if not hops:
             raise ValueError(f"degenerate route {path}")
-        return Flow(src, dst, path, hops, size_bits, callback, now)
+        self._flow_seq += 1
+        return Flow(
+            src, dst, path, hops, size_bits, callback, now,
+            flow_id=self._flow_seq,
+        )
 
     # ------------------------------------------------------------------
     # Flow lifecycle
@@ -245,9 +255,7 @@ class FlowNetwork:
                     f"route {flow.path} crosses sleeping switches "
                     f"{[s.name for s in sleeping]} and auto-wake is disabled"
                 )
-            barrier = _WakeBarrier(
-                len(sleeping), lambda: self._wake_complete(flow, barrier)
-            )
+            barrier = _WakeBarrier(len(sleeping), self, flow)
             self._pending_wake[flow.flow_id] = (flow, barrier)
             for sw in sleeping:
                 sw.request_wake(barrier.arrive)
@@ -435,13 +443,18 @@ class FlowNetwork:
 
 
 class _WakeBarrier:
-    """Fire a callback once N switch wakes have completed."""
+    """Resume a parked flow once N switch wakes have completed.
 
-    def __init__(self, count: int, callback: Callable[[], None]):
+    Holds the network and flow directly (not a closure over them) so a
+    checkpointed world with flows mid-wake pickles cleanly.
+    """
+
+    def __init__(self, count: int, network: FlowNetwork, flow: Flow):
         self.remaining = count
-        self.callback = callback
+        self.network = network
+        self.flow = flow
 
     def arrive(self) -> None:
         self.remaining -= 1
         if self.remaining == 0:
-            self.callback()
+            self.network._wake_complete(self.flow, self)

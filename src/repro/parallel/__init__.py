@@ -19,6 +19,9 @@ from repro.parallel.protocol import (
 )
 from repro.parallel.runtime import (
     DEFAULT_BARRIER_TIMEOUT_S,
+    DEFAULT_HEAL_SNAPSHOT_WINDOWS,
+    DurabilityOptions,
+    RunInterrupted,
     ShardCrashError,
     ShardError,
     ShardRunResult,
@@ -38,11 +41,14 @@ from repro.parallel.scenarios import (
 __all__ = [
     "BarrierController",
     "DEFAULT_BARRIER_TIMEOUT_S",
+    "DEFAULT_HEAL_SNAPSHOT_WINDOWS",
+    "DurabilityOptions",
     "FRONTEND_PID",
     "InFlightLedger",
     "MergedStats",
     "Message",
     "ProtocolError",
+    "RunInterrupted",
     "SCENARIOS",
     "ScenarioSpec",
     "ShardCrashError",

@@ -28,6 +28,25 @@ class ProtocolError(RuntimeError):
     """A conservative-window invariant was violated (a bug, not bad input)."""
 
 
+class EngineClock:
+    """Picklable reader of an engine's simulated clock.
+
+    Endpoints need ``now()`` to stamp sends; a plain lambda would work but
+    cannot be pickled, and endpoints live inside checkpointed worlds
+    (:mod:`repro.checkpoint`).  With no engine bound it reads 0.0, matching
+    the pre-wiring default.
+    """
+
+    __slots__ = ("engine",)
+
+    def __init__(self, engine=None):
+        self.engine = engine
+
+    def __call__(self) -> float:
+        engine = self.engine
+        return 0.0 if engine is None else engine.now
+
+
 class Message(NamedTuple):
     """One boundary message, picklable and totally ordered.
 
@@ -87,7 +106,7 @@ class ShardEndpoint:
         self._inbox: Dict[int, List[Message]] = {}
         self.journal: List[Tuple[float, int, int, str, tuple]] = []
         #: Set by the runtime so sends can read the simulated clock.
-        self.now: Callable[[], float] = lambda: 0.0
+        self.now: Callable[[], float] = EngineClock()
 
     # -- sending ---------------------------------------------------------
     def send(self, dst_pid: int, kind: str, payload: tuple) -> Message:

@@ -25,17 +25,46 @@ Worker crashes never hang the barrier: pipe waits are bounded by
 ``barrier_timeout_s`` and a dead or wedged shard surfaces as a structured
 :class:`ShardCrashError` naming the shard and window (the PR-4 sweep
 supervisor's broken-pool pattern, applied to barrier synchronization).
+
+Durability (:class:`DurabilityOptions`, backed by :mod:`repro.checkpoint`)
+adds three behaviors on top of that loop:
+
+* **checkpoint** — at a window barrier the whole simulation world is pickled
+  as one object graph and written atomically with a config fingerprint.
+  A barrier is a naturally consistent cut: inside a worker no boundary
+  message is in flight (undelivered messages sit either in endpoint inboxes
+  or in the coordinator's pending map, both of which are captured);
+* **restore** — a run started with ``restore_from`` adopts the checkpointed
+  world and continues; the merged result is bit-identical to the
+  uninterrupted run because the endpoint journals ride inside the world;
+* **self-heal** — when a shard dies (:class:`ShardCrashError`) or fails
+  (:class:`ShardError`) and a retry budget is configured, every worker is
+  killed, respawned from the last in-memory barrier snapshot, and the
+  coordinator rolls its own ledger/barrier/pending state back to the same
+  edge — bounded by exponential backoff before the original structured
+  error surfaces.  Chaos injections at or before the crashed window are
+  disarmed on respawn, so an injected fault behaves like a transient one.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
+import signal
 import sys
+import threading
 import time
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
+from repro.checkpoint import (
+    FileLock,
+    check_restorable,
+    read_checkpoint,
+    scenario_fingerprint,
+    write_checkpoint,
+)
 from repro.core.engine import Engine
 from repro.core.invariants import audit_parallel, audit_run
 from repro.network.boundary import BoundaryLink, derive_lookahead, full_mesh
@@ -53,6 +82,14 @@ from repro.scheduling.shard_map import ShardPlan
 
 #: Default bound on one barrier wait before a shard is declared dead.
 DEFAULT_BARRIER_TIMEOUT_S = 120.0
+
+#: In-memory snapshot cadence (windows) when self-healing is on but no
+#: explicit --checkpoint-every was given: frequent enough that a heal loses
+#: little progress, rare enough that snapshot pickling stays off the profile.
+DEFAULT_HEAL_SNAPSHOT_WINDOWS = 16
+
+#: Pickle protocol for world snapshots (matches the sweep journal's choice).
+_PICKLE_PROTOCOL = 4
 
 
 class ShardError(RuntimeError):
@@ -79,6 +116,69 @@ class ShardCrashError(ShardError):
         self.detail = detail
 
 
+class RunInterrupted(RuntimeError):
+    """A durable run stopped early (signal or ``stop_after_windows``).
+
+    Carries everything the CLI needs for its resume hint; the checkpoint (if
+    a path was configured) is already on disk when this is raised.
+    """
+
+    def __init__(
+        self,
+        scenario: str,
+        edge: int,
+        t_edge: float,
+        checkpoint_path: Optional[str],
+        reason: str,
+    ):
+        self.scenario = scenario
+        self.edge = edge
+        self.t_edge = t_edge
+        self.checkpoint_path = checkpoint_path
+        self.reason = reason
+        saved = (
+            f"; state checkpointed to {checkpoint_path}"
+            if checkpoint_path
+            else " (no --checkpoint path: progress not saved)"
+        )
+        super().__init__(
+            f"{scenario} run interrupted ({reason}) at window {edge} "
+            f"(t={t_edge:.3f}s){saved}"
+        )
+
+
+@dataclass
+class DurabilityOptions:
+    """Checkpoint/restore/self-heal policy for one sharded run.
+
+    ``checkpoint_every_s`` is *simulated* seconds (quantized to window
+    edges); 0 disables periodic disk checkpoints but a final checkpoint is
+    still written on interrupt when ``checkpoint_path`` is set.  A heal
+    budget without an explicit cadence snapshots in memory every
+    :data:`DEFAULT_HEAL_SNAPSHOT_WINDOWS` windows.
+    """
+
+    checkpoint_path: Optional[str] = None
+    checkpoint_every_s: float = 0.0
+    restore_from: Optional[str] = None
+    heal_retries: int = 0
+    heal_backoff_s: float = 0.5
+    heal_backoff_factor: float = 2.0
+    #: Stop (with a final checkpoint) after this many windows *this session*;
+    #: used by the CI kill-and-restore smoke to time-box the first leg.
+    stop_after_windows: Optional[int] = None
+
+    def cadences(self, window_s: float) -> Tuple[int, int]:
+        """``(snapshot_every, disk_every)`` in windows; 0 means never."""
+        disk_every = 0
+        if self.checkpoint_path and self.checkpoint_every_s > 0:
+            disk_every = max(1, round(self.checkpoint_every_s / window_s))
+        snap_every = disk_every
+        if snap_every == 0 and self.heal_retries > 0:
+            snap_every = DEFAULT_HEAL_SNAPSHOT_WINDOWS
+        return snap_every, disk_every
+
+
 @dataclass
 class ShardRunResult:
     """Outcome of one sharded (or inline-serial) scenario execution."""
@@ -90,6 +190,10 @@ class ShardRunResult:
     wall_seconds: float
     merged: MergedStats
     link_messages: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    #: Barrier edge this run was restored from (None = started fresh).
+    restored_edge: Optional[int] = None
+    #: Shard failures healed by rollback-and-respawn during this run.
+    heals: int = 0
 
     @property
     def events_per_second(self) -> float:
@@ -140,10 +244,93 @@ def _route(msg: Message, edge: int, ledger: InFlightLedger, links) -> None:
         link.record()
 
 
+class _SignalCatcher:
+    """Latch SIGINT/SIGTERM so the window loop can cut a final checkpoint.
+
+    Installed only for durable runs (plain runs keep raw KeyboardInterrupt
+    semantics) and only in the main thread — elsewhere ``signal.signal``
+    is illegal and the catcher degrades to an inert flag.
+    """
+
+    def __init__(self, enabled: bool):
+        self.enabled = enabled
+        self.signum: Optional[int] = None
+        self._previous: Dict[int, object] = {}
+
+    @property
+    def triggered(self) -> bool:
+        return self.signum is not None
+
+    @property
+    def reason(self) -> str:
+        try:
+            return signal.Signals(self.signum).name if self.signum else "signal"
+        except ValueError:  # pragma: no cover - unnamed signal number
+            return f"signal {self.signum}"
+
+    def _handle(self, signum, frame) -> None:
+        self.signum = signum
+
+    def __enter__(self) -> "_SignalCatcher":
+        if not self.enabled:
+            return self
+        if threading.current_thread() is not threading.main_thread():
+            return self
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            self._previous[signum] = signal.signal(signum, self._handle)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        for signum, previous in self._previous.items():
+            signal.signal(signum, previous)
+        self._previous.clear()
+
+
+def _checkpoint_meta(spec: ScenarioSpec, shards: int, edge: int) -> Dict[str, object]:
+    return {
+        "scenario": spec.name,
+        "fingerprint": scenario_fingerprint(spec),
+        "mode": "inline" if shards == 1 else "sharded",
+        "shards": shards,
+        "n_partitions": spec.n_partitions,
+        "edge": edge,
+        "sim_time": edge * spec.window_s,
+        "window_s": spec.window_s,
+    }
+
+
+def _load_restore(
+    spec: ScenarioSpec, durability: Optional[DurabilityOptions], shards: int
+):
+    """Verified ``(header, payload_object)`` from ``restore_from``, or None."""
+    if durability is None or not durability.restore_from:
+        return None
+    header, payload = read_checkpoint(durability.restore_from)
+    check_restorable(header, spec, shards, durability.restore_from)
+    return header, pickle.loads(payload)
+
+
+def _interrupt_reason(
+    catcher: Optional[_SignalCatcher],
+    durability: Optional[DurabilityOptions],
+    windows_this_session: int,
+) -> Optional[str]:
+    """Why the loop should stop at this barrier, or None to keep going."""
+    if catcher is not None and catcher.triggered:
+        return catcher.reason
+    if (
+        durability is not None
+        and durability.stop_after_windows is not None
+        and windows_this_session >= durability.stop_after_windows
+    ):
+        return f"--stop-after-windows {durability.stop_after_windows}"
+    return None
+
+
 # ----------------------------------------------------------------------
 # Inline serial path (shards == 1): every partition on one engine
 # ----------------------------------------------------------------------
-def _run_inline(spec: ScenarioSpec, plan: ShardPlan):
+def _build_inline_world(spec: ScenarioSpec, plan: ShardPlan) -> Dict[str, object]:
     engine = Engine()
     links = _boundary_links(spec)
     lookahead = _lookahead(spec, links)
@@ -157,12 +344,46 @@ def _run_inline(spec: ScenarioSpec, plan: ShardPlan):
     }
     for pid in pids:
         parts[pid].start()
+    return {
+        "engine": engine,
+        "endpoints": endpoints,
+        "parts": parts,
+        "ledger": InFlightLedger(),
+        "controller": BarrierController(
+            drain_window_count(spec.drain_s, spec.window_s), spec.max_windows
+        ),
+        "links": links,
+        "edge": 0,
+    }
 
-    ledger = InFlightLedger()
-    controller = BarrierController(
-        drain_window_count(spec.drain_s, spec.window_s), spec.max_windows
+
+def _run_inline(
+    spec: ScenarioSpec,
+    plan: ShardPlan,
+    durability: Optional[DurabilityOptions] = None,
+    catcher: Optional[_SignalCatcher] = None,
+):
+    restored = _load_restore(spec, durability, shards=1)
+    if restored is not None:
+        world = restored[1]
+        restored_edge: Optional[int] = world["edge"]
+    else:
+        world = _build_inline_world(spec, plan)
+        restored_edge = None
+
+    engine: Engine = world["engine"]
+    endpoints: Dict[int, ShardEndpoint] = world["endpoints"]
+    parts = world["parts"]
+    ledger: InFlightLedger = world["ledger"]
+    controller: BarrierController = world["controller"]
+    links = world["links"]
+    pids = list(range(spec.n_partitions))
+
+    snap_every, disk_every = (
+        durability.cadences(spec.window_s) if durability is not None else (0, 0)
     )
-    edge = 0
+    start_edge = world["edge"]
+    edge = start_edge
     while True:
         edge += 1
         t_edge = edge * spec.window_s
@@ -187,11 +408,28 @@ def _run_inline(spec: ScenarioSpec, plan: ShardPlan):
             t_end = t_edge
             break
 
+        reason = _interrupt_reason(catcher, durability, edge - start_edge)
+        periodic = snap_every > 0 and edge % snap_every == 0
+        if reason is not None or periodic:
+            world["edge"] = edge
+            path = durability.checkpoint_path if durability else None
+            write_now = path is not None and (
+                reason is not None or (disk_every > 0 and edge % disk_every == 0)
+            )
+            if write_now:
+                write_checkpoint(
+                    path,
+                    pickle.dumps(world, protocol=_PICKLE_PROTOCOL),
+                    _checkpoint_meta(spec, 1, edge),
+                )
+            if reason is not None:
+                raise RunInterrupted(spec.name, edge, t_edge, path, reason)
+
     for pid in pids:
         _audit_partition(parts[pid], t_end, spec.audit)
     snapshots = [parts[pid].snapshot(t_end) for pid in pids]
     link_messages = {key: link.messages for key, link in links.items()}
-    return snapshots, [engine.events_executed], edge, t_end, link_messages
+    return snapshots, [engine.events_executed], edge, t_end, link_messages, restored_edge
 
 
 # ----------------------------------------------------------------------
@@ -202,6 +440,8 @@ def _fire_chaos(spec: ScenarioSpec, pids: List[int], edge: int) -> None:
         if cpid in pids and cwindow == edge:
             if action == "exit":
                 os._exit(23)
+            if action == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
             if action == "raise":
                 raise RuntimeError(
                     f"chaos: partition {cpid} raised at window {edge}"
@@ -210,22 +450,38 @@ def _fire_chaos(spec: ScenarioSpec, pids: List[int], edge: int) -> None:
                 time.sleep(3600.0)
 
 
-def _shard_worker_main(conn, spec: ScenarioSpec, pids: List[int]) -> None:
+def _shard_worker_main(
+    conn, spec: ScenarioSpec, pids: List[int], restore_blob: Optional[bytes] = None
+) -> None:
     edge = 0
     try:
-        plan = spec.plan(n_workers=1)  # layout is worker-count independent
-        engine = Engine()
-        links = _boundary_links(spec)
-        lookahead = _lookahead(spec, links)
-        endpoints = {
-            pid: ShardEndpoint(pid, spec.window_s, lookahead) for pid in pids
-        }
-        parts = {
-            pid: build_partition(spec, plan, pid, engine, endpoints[pid])
-            for pid in pids
-        }
-        for pid in pids:
-            parts[pid].start()
+        # The coordinator owns interrupt handling: it cuts a consistent
+        # checkpoint at the next barrier.  A terminal SIGINT is delivered to
+        # the whole process group, so workers must not die under it.
+        try:
+            signal.signal(signal.SIGINT, signal.SIG_IGN)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+        if restore_blob is not None:
+            world = pickle.loads(restore_blob)
+            engine: Engine = world["engine"]
+            endpoints: Dict[int, ShardEndpoint] = world["endpoints"]
+            parts = world["parts"]
+            edge = world["edge"]
+        else:
+            plan = spec.plan(n_workers=1)  # layout is worker-count independent
+            engine = Engine()
+            links = _boundary_links(spec)
+            lookahead = _lookahead(spec, links)
+            endpoints = {
+                pid: ShardEndpoint(pid, spec.window_s, lookahead) for pid in pids
+            }
+            parts = {
+                pid: build_partition(spec, plan, pid, engine, endpoints[pid])
+                for pid in pids
+            }
+            for pid in pids:
+                parts[pid].start()
 
         t_end: Optional[float] = None
         while True:
@@ -249,6 +505,17 @@ def _shard_worker_main(conn, spec: ScenarioSpec, pids: List[int]) -> None:
                 if cmd[2]:  # quiesce after this edge's deliveries
                     for pid in pids:
                         parts[pid].quiesce()
+                if cmd[3]:  # barrier snapshot: post-delivery, post-quiesce cut
+                    blob = pickle.dumps(
+                        {
+                            "engine": engine,
+                            "endpoints": endpoints,
+                            "parts": parts,
+                            "edge": edge,
+                        },
+                        protocol=_PICKLE_PROTOCOL,
+                    )
+                    conn.send(("ckpt", edge, blob))
             elif op == "stop":
                 t_end = cmd[2]
                 break
@@ -291,94 +558,294 @@ def _recv_checked(conn, proc, worker: int, window: int, timeout_s: float):
         ) from None
 
 
-def _run_coordinated(spec: ScenarioSpec, plan: ShardPlan, barrier_timeout_s: float):
-    import multiprocessing as mp
-
-    ctx = mp.get_context("spawn")
-    n_workers = plan.n_workers
-    worker_pids = [plan.partitions_of_worker(w) for w in range(n_workers)]
-    pid_to_worker = {
-        pid: w for w, pids in enumerate(worker_pids) for pid in pids
-    }
-
-    conns, procs = [], []
-    links = _boundary_links(spec)
-    ledger = InFlightLedger()
-    controller = BarrierController(
-        drain_window_count(spec.drain_s, spec.window_s), spec.max_windows
-    )
-    #: messages held until their due edge: edge -> worker -> [Message]
-    pending: Dict[int, Dict[int, List[Message]]] = {}
-
+def _send_checked(conn, proc, worker: int, window: int, payload) -> None:
+    """Pipe write that turns a vanished worker into a structured error."""
     try:
-        for w in range(n_workers):
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            proc = ctx.Process(
-                target=_shard_worker_main,
-                args=(child_conn, spec, worker_pids[w]),
-                name=f"repro-shard-{w}",
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            conns.append(parent_conn)
-            procs.append(proc)
+        conn.send(payload)
+    except (BrokenPipeError, OSError):
+        proc.join(timeout=1.0)
+        raise ShardCrashError(
+            worker, window,
+            f"pipe closed on send (exitcode {proc.exitcode})",
+        ) from None
 
-        edge = 0
-        while True:
-            edge += 1
-            reports = []
-            for w in range(n_workers):
-                msg = _recv_checked(conns[w], procs[w], w, edge, barrier_timeout_s)
+
+class _BarrierSnapshot:
+    """One consistent cut of a sharded run: worker blobs + coordinator state."""
+
+    __slots__ = ("edge", "workers", "coord")
+
+    def __init__(self, edge: int, workers: List[bytes], coord: bytes):
+        self.edge = edge
+        self.workers = workers
+        self.coord = coord
+
+    def payload(self) -> bytes:
+        return pickle.dumps(
+            {"edge": self.edge, "workers": self.workers, "coord": self.coord},
+            protocol=_PICKLE_PROTOCOL,
+        )
+
+    @classmethod
+    def from_payload(cls, doc: dict) -> "_BarrierSnapshot":
+        return cls(doc["edge"], doc["workers"], doc["coord"])
+
+
+class _Coordinator:
+    """One attempt-scoped execution of the coordinated window loop.
+
+    The surrounding heal loop (:func:`_run_coordinated`) constructs a fresh
+    ``_Coordinator`` per attempt; ``self.last_snapshot`` is how a failed
+    attempt hands its rollback point to the next one.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        plan: ShardPlan,
+        barrier_timeout_s: float,
+        durability: Optional[DurabilityOptions],
+        catcher: Optional[_SignalCatcher],
+        snapshot: Optional[_BarrierSnapshot],
+    ):
+        self.spec = spec
+        self.plan = plan
+        self.barrier_timeout_s = barrier_timeout_s
+        self.durability = durability
+        self.catcher = catcher
+        self.last_snapshot = snapshot
+        self.n_workers = plan.n_workers
+        self.worker_pids = [
+            plan.partitions_of_worker(w) for w in range(self.n_workers)
+        ]
+        self.pid_to_worker = {
+            pid: w for w, pids in enumerate(self.worker_pids) for pid in pids
+        }
+
+    # -- state (re)construction ------------------------------------------
+    def _restore_coord_state(self, snapshot: Optional[_BarrierSnapshot]):
+        links = _boundary_links(self.spec)
+        if snapshot is None:
+            ledger = InFlightLedger()
+            controller = BarrierController(
+                drain_window_count(self.spec.drain_s, self.spec.window_s),
+                self.spec.max_windows,
+            )
+            pending: Dict[int, Dict[int, List[Message]]] = {}
+            edge = 0
+        else:
+            coord = pickle.loads(snapshot.coord)
+            if coord["edge"] != snapshot.edge:  # pragma: no cover - guard
+                raise ProtocolError(
+                    f"snapshot edge mismatch: coordinator at {coord['edge']}, "
+                    f"workers at {snapshot.edge}"
+                )
+            ledger = coord["ledger"]
+            controller = coord["controller"]
+            pending = coord["pending"]
+            for key, count in coord["link_messages"].items():
+                links[key].messages = count
+            edge = snapshot.edge
+        return links, ledger, controller, pending, edge
+
+    def _coord_blob(self, ledger, controller, pending, links, edge: int) -> bytes:
+        return pickle.dumps(
+            {
+                "edge": edge,
+                "ledger": ledger,
+                "controller": controller,
+                "pending": pending,
+                "link_messages": {k: link.messages for k, link in links.items()},
+            },
+            protocol=_PICKLE_PROTOCOL,
+        )
+
+    # -- one attempt ------------------------------------------------------
+    def run_attempt(self):
+        import multiprocessing as mp
+
+        ctx = mp.get_context("spawn")
+        spec = self.spec
+        durability = self.durability
+        snapshot = self.last_snapshot
+        links, ledger, controller, pending, edge = self._restore_coord_state(
+            snapshot
+        )
+        start_edge = edge
+        snap_every, disk_every = (
+            durability.cadences(spec.window_s) if durability is not None else (0, 0)
+        )
+
+        conns, procs = [], []
+        try:
+            for w in range(self.n_workers):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                blob = snapshot.workers[w] if snapshot is not None else None
+                proc = ctx.Process(
+                    target=_shard_worker_main,
+                    args=(child_conn, spec, self.worker_pids[w], blob),
+                    name=f"repro-shard-{w}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                conns.append(parent_conn)
+                procs.append(proc)
+
+            while True:
+                edge += 1
+                reports = []
+                for w in range(self.n_workers):
+                    msg = _recv_checked(
+                        conns[w], procs[w], w, edge, self.barrier_timeout_s
+                    )
+                    if msg[0] == "error":
+                        raise ShardError(w, msg[1], msg[2])
+                    if msg[0] != "window" or msg[1] != edge:
+                        raise ProtocolError(
+                            f"shard {w} out of step: expected window {edge}, got {msg[:2]}"
+                        )
+                    reports.append(msg)
+                all_ready = all(r[3] for r in reports)
+                for r in reports:
+                    for msg in r[2]:
+                        _route(msg, edge, ledger, links)
+                        pending.setdefault(msg.due_edge, {}).setdefault(
+                            self.pid_to_worker[msg.dst_pid], []
+                        ).append(msg)
+                due_now = pending.pop(edge, {})
+                ledger.pop_edge(edge)
+                quiesce_now, stop_now = controller.decide(
+                    edge, all_ready, ledger.in_flight_after(edge)
+                )
+                if stop_now:
+                    t_end = edge * spec.window_s
+                    for w in range(self.n_workers):
+                        _send_checked(
+                            conns[w], procs[w], w, edge,
+                            ("stop", due_now.get(w, []), t_end),
+                        )
+                    break
+
+                reason = _interrupt_reason(
+                    self.catcher, durability, edge - start_edge
+                )
+                periodic = snap_every > 0 and edge % snap_every == 0
+                want_ckpt = reason is not None or periodic
+                for w in range(self.n_workers):
+                    _send_checked(
+                        conns[w], procs[w], w, edge,
+                        ("deliver", due_now.get(w, []), quiesce_now, want_ckpt),
+                    )
+                if want_ckpt:
+                    blobs: List[bytes] = []
+                    for w in range(self.n_workers):
+                        msg = _recv_checked(
+                            conns[w], procs[w], w, edge, self.barrier_timeout_s
+                        )
+                        if msg[0] == "error":
+                            raise ShardError(w, msg[1], msg[2])
+                        if msg[0] != "ckpt" or msg[1] != edge:
+                            raise ProtocolError(
+                                f"shard {w} sent {msg[0]!r} instead of a "
+                                f"window-{edge} snapshot"
+                            )
+                        blobs.append(msg[2])
+                    self.last_snapshot = _BarrierSnapshot(
+                        edge,
+                        blobs,
+                        self._coord_blob(ledger, controller, pending, links, edge),
+                    )
+                    path = durability.checkpoint_path if durability else None
+                    write_now = path is not None and (
+                        reason is not None
+                        or (disk_every > 0 and edge % disk_every == 0)
+                    )
+                    if write_now:
+                        write_checkpoint(
+                            path,
+                            self.last_snapshot.payload(),
+                            _checkpoint_meta(spec, self.n_workers, edge),
+                        )
+                    if reason is not None:
+                        raise RunInterrupted(
+                            spec.name, edge, edge * spec.window_s, path, reason
+                        )
+
+            snapshots: List[dict] = []
+            engine_events: List[int] = []
+            for w in range(self.n_workers):
+                msg = _recv_checked(
+                    conns[w], procs[w], w, edge, self.barrier_timeout_s
+                )
                 if msg[0] == "error":
                     raise ShardError(w, msg[1], msg[2])
-                if msg[0] != "window" or msg[1] != edge:
-                    raise ProtocolError(
-                        f"shard {w} out of step: expected window {edge}, got {msg[:2]}"
-                    )
-                reports.append(msg)
-            all_ready = all(r[3] for r in reports)
-            for r in reports:
-                for msg in r[2]:
-                    _route(msg, edge, ledger, links)
-                    pending.setdefault(msg.due_edge, {}).setdefault(
-                        pid_to_worker[msg.dst_pid], []
-                    ).append(msg)
-            due_now = pending.pop(edge, {})
-            ledger.pop_edge(edge)
-            quiesce_now, stop_now = controller.decide(
-                edge, all_ready, ledger.in_flight_after(edge)
-            )
-            if stop_now:
-                t_end = edge * spec.window_s
-                for w in range(n_workers):
-                    conns[w].send(("stop", due_now.get(w, []), t_end))
-                break
-            for w in range(n_workers):
-                conns[w].send(("deliver", due_now.get(w, []), quiesce_now))
-
-        snapshots: List[dict] = []
-        engine_events: List[int] = []
-        for w in range(n_workers):
-            msg = _recv_checked(conns[w], procs[w], w, edge, barrier_timeout_s)
-            if msg[0] == "error":
-                raise ShardError(w, msg[1], msg[2])
-            if msg[0] != "done":
-                raise ProtocolError(f"shard {w} sent {msg[0]!r} instead of results")
-            snapshots.extend(msg[1])
-            engine_events.append(msg[2])
-        for proc in procs:
-            proc.join(timeout=5.0)
-    finally:
-        for proc in procs:
-            if proc.is_alive():
-                proc.terminate()
+                if msg[0] != "done":
+                    raise ProtocolError(f"shard {w} sent {msg[0]!r} instead of results")
+                snapshots.extend(msg[1])
+                engine_events.append(msg[2])
+            for proc in procs:
                 proc.join(timeout=5.0)
-        for conn in conns:
-            conn.close()
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+            for conn in conns:
+                conn.close()
 
-    link_messages = {key: link.messages for key, link in links.items()}
-    return snapshots, engine_events, edge, t_end, link_messages
+        link_messages = {key: link.messages for key, link in links.items()}
+        return snapshots, engine_events, edge, t_end, link_messages
+
+
+def _run_coordinated(
+    spec: ScenarioSpec,
+    plan: ShardPlan,
+    barrier_timeout_s: float,
+    durability: Optional[DurabilityOptions] = None,
+    catcher: Optional[_SignalCatcher] = None,
+):
+    restored = _load_restore(spec, durability, shards=plan.n_workers)
+    snapshot = (
+        _BarrierSnapshot.from_payload(restored[1]) if restored is not None else None
+    )
+    restored_edge = snapshot.edge if snapshot is not None else None
+
+    heal_budget = durability.heal_retries if durability is not None else 0
+    heals = 0
+    while True:
+        coordinator = _Coordinator(
+            spec, plan, barrier_timeout_s, durability, catcher, snapshot
+        )
+        try:
+            outcome = coordinator.run_attempt()
+            return outcome + (restored_edge, heals)
+        except (ShardCrashError, ShardError) as err:
+            # Roll back to the last consistent cut (or a fresh start when the
+            # failure predates the first snapshot) and replay.  Bounded by
+            # the heal budget with exponential backoff; chaos injections at
+            # or before the crashed window are disarmed so the injected
+            # fault is transient, like the real crashes this models.
+            if heals >= heal_budget:
+                raise
+            delay = durability.heal_backoff_s * (
+                durability.heal_backoff_factor ** heals
+            )
+            heals += 1
+            snapshot = coordinator.last_snapshot
+            rollback = snapshot.edge if snapshot is not None else 0
+            print(
+                f"[repro.parallel] shard {err.shard} failed at window "
+                f"{err.window}: healing (attempt {heals}/{heal_budget}) — "
+                f"rolling every shard back to window {rollback}, "
+                f"respawning after {delay:.1f}s",
+                file=sys.stderr,
+            )
+            time.sleep(delay)
+            spec = replace(
+                spec,
+                chaos=tuple(c for c in spec.chaos if c[1] > err.window),
+            )
 
 
 # ----------------------------------------------------------------------
@@ -388,20 +855,35 @@ def run_sharded(
     spec: ScenarioSpec,
     shards: int = 1,
     barrier_timeout_s: float = DEFAULT_BARRIER_TIMEOUT_S,
+    durability: Optional[DurabilityOptions] = None,
 ) -> ShardRunResult:
     """Execute ``spec`` on ``shards`` worker processes (1 = inline serial).
 
     Merged results are bit-identical across every legal ``shards`` value;
-    the shard count only changes wall-clock time.
+    the shard count only changes wall-clock time.  ``durability`` adds
+    checkpoint/restore and self-healing (see :class:`DurabilityOptions`) —
+    restored runs are bit-identical to uninterrupted ones.
     """
     plan = spec.plan(n_workers=shards)
+    lock: Optional[FileLock] = None
+    if durability is not None and durability.checkpoint_path:
+        lock = FileLock(durability.checkpoint_path).acquire()
     start = time.perf_counter()
-    if shards == 1:
-        snapshots, events, windows, t_end, link_messages = _run_inline(spec, plan)
-    else:
-        snapshots, events, windows, t_end, link_messages = _run_coordinated(
-            spec, plan, barrier_timeout_s
-        )
+    try:
+        with _SignalCatcher(durability is not None) as catcher:
+            if shards == 1:
+                (
+                    snapshots, events, windows, t_end, link_messages, restored_edge,
+                ) = _run_inline(spec, plan, durability, catcher)
+                heals = 0
+            else:
+                (
+                    snapshots, events, windows, t_end, link_messages,
+                    restored_edge, heals,
+                ) = _run_coordinated(spec, plan, barrier_timeout_s, durability, catcher)
+    finally:
+        if lock is not None:
+            lock.release()
     wall = time.perf_counter() - start
 
     merged = merge_snapshots(spec.name, snapshots, events, t_end, windows)
@@ -419,4 +901,6 @@ def run_sharded(
         wall_seconds=wall,
         merged=merged,
         link_messages=link_messages,
+        restored_edge=restored_edge,
+        heals=heals,
     )

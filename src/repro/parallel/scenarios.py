@@ -34,13 +34,13 @@ import numpy as np
 
 from repro.core.config import FaultConfig, small_cloud_server
 from repro.core.engine import Engine
-from repro.core.rng import RandomSource
+from repro.core.rng import RandomSource, exponential
 from repro.experiments.common import build_farm
 from repro.experiments.joint_energy import build_joint_cluster
 from repro.experiments.scalability import resolve_pool
 from repro.faults.injector import FaultInjector
 from repro.jobs.task import Job
-from repro.parallel.protocol import Message, ShardEndpoint
+from repro.parallel.protocol import EngineClock, Message, ShardEndpoint
 from repro.scheduling.policies import RoundRobinPolicy
 from repro.scheduling.shard_map import ShardPlan
 from repro.workload.arrivals import PoissonProcess, arrival_rate_for_utilization
@@ -52,7 +52,8 @@ SCENARIOS = ("scalability", "faults", "facility", "joint")
 POOL_MODES = ("auto", "on", "off")
 
 #: Chaos actions understood by the worker runtime (crash-handling tests).
-CHAOS_ACTIONS = ("exit", "raise", "hang")
+#: ``kill`` is SIGKILL — no Python cleanup runs, the hardest crash shape.
+CHAOS_ACTIONS = ("exit", "raise", "hang", "kill")
 
 
 @dataclass
@@ -133,6 +134,11 @@ class FrontEnd:
     Draws are taken from the *root* seed's streams (never from partition
     RNGs), and jobs are identified by their dispatch index — so payloads are
     a pure function of the spec regardless of execution mode.
+
+    Arrivals are drawn *statefully* (``t += Exp(rate)`` against a kept
+    clock) rather than through :meth:`PoissonProcess.arrivals`: the draw
+    sequence is identical, but a generator object cannot be pickled and the
+    front end lives inside checkpointed worlds (:mod:`repro.checkpoint`).
     """
 
     def __init__(
@@ -150,16 +156,22 @@ class FrontEnd:
         self.engine = engine
         self.endpoint = endpoint
         self._service_rng = root.stream("service")
-        self._arrival_iter = PoissonProcess(rate, root.stream("arrivals")).arrivals()
+        self._arrivals = PoissonProcess(rate, root.stream("arrivals"))
+        self._arrival_t = self._arrivals.start_time
         self._draw = draw
         self.jobs_dispatched = 0
         self.acks_ok = 0
         self.acks_failed = 0
         self.source_done = spec.n_jobs <= 0
 
+    def _next_arrival(self) -> float:
+        # Bit-identical to PoissonProcess.arrivals(): t += Exp(rate).
+        self._arrival_t += exponential(self._arrivals.rng, self._arrivals.rate_per_s)
+        return self._arrival_t
+
     def start(self) -> None:
         if not self.source_done:
-            self.engine.post_at(next(self._arrival_iter), self._arrive)
+            self.engine.post_at(self._next_arrival(), self._arrive)
 
     def _arrive(self) -> None:
         idx = self.jobs_dispatched
@@ -169,7 +181,7 @@ class FrontEnd:
         if self.jobs_dispatched >= self.spec.n_jobs:
             self.source_done = True
         else:
-            self.engine.post_at(next(self._arrival_iter), self._arrive)
+            self.engine.post_at(self._next_arrival(), self._arrive)
 
     def on_ack(self, msg: Message) -> None:
         if msg.payload[1]:
@@ -196,6 +208,35 @@ class FrontEnd:
 
 
 # ----------------------------------------------------------------------
+# Service-time draws (module-level classes: closures cannot be pickled,
+# and the front end holding them lives inside checkpointed worlds)
+# ----------------------------------------------------------------------
+class ExponentialDraw:
+    """Single-task service draw: Exp(mean) with ExponentialService's floor."""
+
+    __slots__ = ("mean",)
+
+    def __init__(self, mean: float):
+        self.mean = mean
+
+    def __call__(self, rng: np.random.Generator) -> tuple:
+        # Same floor as ExponentialService: zero-length tasks break timing.
+        return (max(1e-9, float(rng.exponential(self.mean))),)
+
+
+class PipelineDraw:
+    """Two-stage joint-scenario draw: independent U(0.4, 1.2) stage times."""
+
+    __slots__ = ()
+
+    def __call__(self, rng: np.random.Generator) -> tuple:
+        return (
+            float(rng.uniform(0.4, 1.2)),
+            float(rng.uniform(0.4, 1.2)),
+        )
+
+
+# ----------------------------------------------------------------------
 # Partition models
 # ----------------------------------------------------------------------
 class PartitionModel:
@@ -219,7 +260,7 @@ class PartitionModel:
         self.pid = pid
         self.engine = engine
         self.endpoint = endpoint
-        endpoint.now = lambda: engine.now
+        endpoint.now = EngineClock(engine)
         self.part_seed = RandomSource(spec.seed).spawn(f"part{pid}").seed
         self.n_local = plan.partition_size(pid)
         self.servers: List = []
@@ -253,13 +294,7 @@ class PartitionModel:
 
     @staticmethod
     def draw_services(spec: ScenarioSpec):
-        mean = spec.mean_service_s
-
-        def draw(rng: np.random.Generator) -> tuple:
-            # Same floor as ExponentialService: zero-length tasks break timing.
-            return (max(1e-9, float(rng.exponential(mean))),)
-
-        return draw
+        return ExponentialDraw(spec.mean_service_s)
 
     # -- bus ------------------------------------------------------------
     def _ack_ok(self, job: Job) -> None:
@@ -384,7 +419,6 @@ class FaultsPartition(ScalabilityPartition):
             servers=self.servers,
             scheduler=sched,
         )
-        self.availability = self.injector.trackers.values()
 
     def start(self) -> None:
         self.injector.start()
@@ -392,6 +426,13 @@ class FaultsPartition(ScalabilityPartition):
 
     def quiesce(self) -> None:
         self.injector.stop()
+
+    def audit_kwargs(self) -> Dict[str, object]:
+        # Read the trackers at audit time (they are created by start());
+        # holding a live dict view on self would break world pickling.
+        kwargs = super().audit_kwargs()
+        kwargs["availability"] = tuple(self.injector.trackers.values())
+        return kwargs
 
     def extra_snapshot(self, t_end: float) -> Dict[str, object]:
         summary = self.injector.summary(t_end)
@@ -485,13 +526,7 @@ class JointPartition(PartitionModel):
 
     @staticmethod
     def draw_services(spec: ScenarioSpec):
-        def draw(rng: np.random.Generator) -> tuple:
-            return (
-                float(rng.uniform(0.4, 1.2)),
-                float(rng.uniform(0.4, 1.2)),
-            )
-
-        return draw
+        return PipelineDraw()
 
     def _build_job(self, payload: tuple, now: float) -> Job:
         idx, s0, s1 = payload

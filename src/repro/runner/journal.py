@@ -32,6 +32,8 @@ import os
 import pickle
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.checkpoint.lock import FileLock
+
 #: Bump when the line format changes incompatibly; ``load`` ignores journals
 #: written by a different version rather than mis-resuming from them.
 JOURNAL_VERSION = 1
@@ -120,6 +122,7 @@ class SweepJournal:
         self.path = os.fspath(path)
         self.sweep_name = sweep_name
         self._fh: Optional[io.TextIOWrapper] = None
+        self._lock = FileLock(self.path)
         self.lines_written = 0
 
     # -- reading ----------------------------------------------------------
@@ -155,12 +158,20 @@ class SweepJournal:
 
     # -- writing ----------------------------------------------------------
     def open(self) -> None:
-        """Open for appending; writes the header only on a fresh file."""
+        """Open for appending; writes the header only on a fresh file.
+
+        Takes an advisory exclusive lock first: two concurrent runs
+        appending to one journal would interleave their checkpoint lines, so
+        the second acquirer fails fast with
+        :class:`~repro.checkpoint.LockHeldError` instead of corrupting the
+        resume state.  The lock is dropped by the kernel even on SIGKILL.
+        """
         if self._fh is not None:
             return
         fresh = not os.path.exists(self.path) or os.path.getsize(self.path) == 0
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
+        self._lock.acquire()
         self._fh = open(self.path, "a", encoding="utf-8")
         if fresh:
             self._write_line(
@@ -217,6 +228,7 @@ class SweepJournal:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+        self._lock.release()
 
     def __enter__(self) -> "SweepJournal":
         self.open()

@@ -216,6 +216,8 @@ class SweepOptions:
             :func:`repro.telemetry.trace.read_stream`), while successful
             points' streams are deleted.  Works with or without an active
             telemetry session.
+        trace_fsync: fsync per-point trace streams on every flushed line so
+            they survive power loss, not just process death (slower).
     """
 
     point_timeout_s: Optional[float] = None
@@ -227,6 +229,7 @@ class SweepOptions:
     journal_path: Optional[str] = None
     resume: bool = False
     trace_dir: Optional[str] = None
+    trace_fsync: bool = False
 
     def __post_init__(self) -> None:
         if self.retries < 0:
@@ -761,7 +764,9 @@ def run_sweep_detailed(
     # child sessions — identically inline or in spawned workers — and the
     # parent reassembles the payloads in point order below.
     active_session = telemetry_session.ACTIVE
-    capture = TelemetryCapture.from_context(active_session, options.trace_dir)
+    capture = TelemetryCapture.from_context(
+        active_session, options.trace_dir, fsync=options.trace_fsync
+    )
 
     fingerprints = [
         point_fingerprint(spec.name, p.fn, p.kwargs) for p in spec.points

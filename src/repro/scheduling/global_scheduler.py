@@ -29,6 +29,29 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.server.server import Server
 
 
+class _TransferDone:
+    """Completion callback for one result transfer.
+
+    A module-level class (not a closure inside the scheduler) so schedulers
+    with transfers in flight live inside picklable checkpointed worlds.
+    """
+
+    __slots__ = ("scheduler", "task", "started_at")
+
+    def __init__(self, scheduler: "GlobalScheduler", task: Task, started_at: float):
+        self.scheduler = scheduler
+        self.task = task
+        self.started_at = started_at
+
+    def __call__(self) -> None:
+        sched = self.scheduler
+        task = self.task
+        sched.transfer_delay.record(sched.engine.now - self.started_at)
+        task.transfer_finished()
+        if task.dependencies_met:
+            sched._submit(task, sched._placements[task])
+
+
 class GlobalScheduler:
     """Front-end scheduler for a simulated server farm.
 
@@ -191,20 +214,11 @@ class GlobalScheduler:
                     src_server_id,
                     server.server_id,
                     size_bytes,
-                    self._make_transfer_callback(task, started_at),
+                    _TransferDone(self, task, started_at),
                 )
         if not launched and task.dependencies_met:
             self._submit(task, server)
         # If transfers were launched, _submit happens from the last callback.
-
-    def _make_transfer_callback(self, task: Task, started_at: float):
-        def _done() -> None:
-            self.transfer_delay.record(self.engine.now - started_at)
-            task.transfer_finished()
-            if task.dependencies_met:
-                self._submit(task, self._placements[task])
-
-        return _done
 
     def _submit(self, task: Task, server: "Server") -> None:
         if server.is_failed:

@@ -53,6 +53,7 @@ class TelemetrySession:
         max_events: int = DEFAULT_MAX_EVENTS,
         stream_path: Optional[str] = None,
         label: Optional[str] = None,
+        fsync: bool = False,
     ):
         self.label = label
         self._stream_fh = None
@@ -65,7 +66,8 @@ class TelemetrySession:
                 )
                 self._stream_fh.write("\n")
             recorder = TraceRecorder(
-                categories=categories, max_events=max_events, stream=self._stream_fh
+                categories=categories, max_events=max_events,
+                stream=self._stream_fh, fsync=fsync,
             )
         self.recorder = recorder
         # Per-category shortcuts: the recorder when enabled, else None, so
@@ -168,6 +170,7 @@ class TelemetryCapture:
     trace_dir: Optional[str] = None
     keep_traces: str = "failed"  # "failed" | "all"
     return_payload: bool = True
+    fsync: bool = False
 
     @classmethod
     def from_context(
@@ -175,6 +178,7 @@ class TelemetryCapture:
         active: Optional[TelemetrySession],
         trace_dir: Optional[str] = None,
         keep_traces: str = "failed",
+        fsync: bool = False,
     ) -> Optional["TelemetryCapture"]:
         """Derive the capture spec for a sweep, or None if nothing to do."""
         if active is None and trace_dir is None:
@@ -183,7 +187,7 @@ class TelemetryCapture:
             return cls(
                 trace=True, metrics=False, profile=False,
                 trace_dir=trace_dir, keep_traces=keep_traces,
-                return_payload=False,
+                return_payload=False, fsync=fsync,
             )
         categories = (
             tuple(sorted(active.recorder.categories))
@@ -201,6 +205,7 @@ class TelemetryCapture:
             trace_dir=trace_dir,
             keep_traces=keep_traces,
             return_payload=True,
+            fsync=fsync,
         )
 
     def stream_path_for(self, index: int) -> Optional[str]:
@@ -236,6 +241,7 @@ def capture_point(capture: TelemetryCapture, point) -> Any:
         max_events=capture.max_events,
         stream_path=stream_path,
         label=point.label,
+        fsync=capture.fsync,
     )
     prev = activate(sess)
     ok = False

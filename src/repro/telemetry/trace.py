@@ -32,6 +32,7 @@ track.
 from __future__ import annotations
 
 import json
+import os
 from collections import deque
 from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
 
@@ -92,6 +93,7 @@ class TraceRecorder:
         categories: Optional[Iterable[str]] = None,
         max_events: int = DEFAULT_MAX_EVENTS,
         stream: Optional[TextIO] = None,
+        fsync: bool = False,
     ):
         cats = frozenset(CATEGORIES if categories is None else categories)
         unknown = cats - set(CATEGORIES)
@@ -106,6 +108,7 @@ class TraceRecorder:
         self.events: Deque[Event] = deque(maxlen=max_events)
         self.emitted = 0
         self._stream = stream
+        self._fsync = fsync
         # Deterministic per-run object numbering; strong refs pin the keyed
         # objects so CPython id() reuse cannot alias two distinct objects.
         self._seq_ids: Dict[Tuple[str, int], int] = {}
@@ -183,9 +186,16 @@ class TraceRecorder:
         if stream is not None:
             stream.write(json.dumps(event, separators=(",", ":"), sort_keys=True))
             stream.write("\n")
-            # Flush per line so the file is readable after SIGKILL; no fsync —
-            # page-cache contents survive process death.
+            # Flush per line so the file is readable after SIGKILL.  By
+            # default there is no fsync — page-cache contents survive process
+            # death — but ``fsync=True`` hardens each line against power loss
+            # at the cost of one disk barrier per event.
             stream.flush()
+            if self._fsync:
+                try:
+                    os.fsync(stream.fileno())
+                except (OSError, ValueError):  # unseekable/closed stream
+                    pass
 
 
 # ----------------------------------------------------------------------

@@ -49,12 +49,18 @@ class TestWakeCoordination:
 
     def test_wake_barrier_counts(self):
         fired = []
-        barrier = _WakeBarrier(3, lambda: fired.append(True))
+
+        class _Network:
+            def _wake_complete(self, flow, barrier):
+                fired.append(flow)
+
+        flow = object()
+        barrier = _WakeBarrier(3, _Network(), flow)
         barrier.arrive()
         barrier.arrive()
         assert not fired
         barrier.arrive()
-        assert fired == [True]
+        assert fired == [flow]
 
 
 class TestErrors:

@@ -1,0 +1,39 @@
+"""The bench regression gate's absolute durability budgets."""
+
+from __future__ import annotations
+
+from repro.runner.bench import check_regression
+
+
+def _doc(**durability):
+    return {"engine": {"events_per_s": 1000}, "durability": durability}
+
+
+class TestDurabilityGate:
+    def test_idle_overhead_over_budget_fails(self):
+        problems = check_regression(
+            _doc(overhead_pct=1.7, budget_pct=1.0, e2e_ratio=1.0), {}
+        )
+        assert any("durability.overhead_pct" in p for p in problems)
+
+    def test_structural_e2e_slowdown_fails(self):
+        problems = check_regression(
+            _doc(overhead_pct=0.001, e2e_ratio=11.2, e2e_budget=1.5), {}
+        )
+        assert any("durability.e2e_ratio" in p for p in problems)
+
+    def test_within_budget_passes(self):
+        problems = check_regression(
+            _doc(overhead_pct=0.001, budget_pct=1.0, e2e_ratio=1.1), {}
+        )
+        assert problems == []
+
+    def test_gates_are_absolute_not_vs_baseline(self):
+        # The budgets fire with no baseline entry at all, unlike the
+        # throughput gates, which skip metrics the baseline lacks.
+        doc = _doc(overhead_pct=2.0)
+        assert check_regression(doc, {})  # no baseline durability section
+        assert check_regression(doc, {"durability": {"overhead_pct": 3.0}})
+
+    def test_missing_durability_section_is_fine(self):
+        assert check_regression({"engine": {"events_per_s": 1}}, {}) == []

@@ -1,0 +1,53 @@
+"""The ``--trace-fsync`` satellite: harden trace streams against power loss."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.session import TelemetryCapture, TelemetrySession
+from repro.telemetry.trace import TraceRecorder, read_stream
+
+
+class TestTraceFsync:
+    def test_fsynced_stream_lines_are_valid_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with open(path, "w") as fh:
+            recorder = TraceRecorder(stream=fh, fsync=True)
+            for i in range(5):
+                recorder.instant("task", "tick", "server-0", i * 0.1)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 5
+        for line in lines:
+            json.loads(line)
+
+    def test_fsync_defaults_off(self):
+        assert TraceRecorder()._fsync is False
+
+    def test_session_plumbs_fsync_to_stream_recorder(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        sess = TelemetrySession(trace=True, stream_path=path, fsync=True)
+        try:
+            assert sess.recorder._fsync is True
+            sess.recorder.instant("task", "tick", "server-0", 0.0)
+        finally:
+            sess.close()
+        header, events = read_stream(path)
+        assert len(events) == 1
+
+    def test_capture_propagates_fsync_to_workers(self):
+        sess = TelemetrySession(trace=True)
+        try:
+            capture = TelemetryCapture.from_context(
+                sess, trace_dir="unused", fsync=True
+            )
+        finally:
+            sess.close()
+        assert capture.fsync is True
+        # And the frozen spec is what sweep workers unpickle: stays default
+        # False when the flag is not set.
+        sess2 = TelemetrySession(trace=True)
+        try:
+            capture2 = TelemetryCapture.from_context(sess2, trace_dir="unused")
+        finally:
+            sess2.close()
+        assert capture2.fsync is False

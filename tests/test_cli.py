@@ -63,6 +63,33 @@ class TestParser:
                 ["facility-carbon", "--carbon", "unobtainium"]
             )
 
+    def test_durability_flags_on_every_shard_command(self):
+        for command in ("scalability", "joint", "faults", "facility-carbon"):
+            args = build_parser().parse_args(
+                [command, "--checkpoint", "run.ckpt", "--checkpoint-every",
+                 "0.5", "--shard-retries", "2"]
+            )
+            assert args.checkpoint == "run.ckpt", command
+            assert args.checkpoint_every == 0.5, command
+            assert args.shard_retries == 2, command
+            assert args.shards is None, command  # flags imply --shards 1
+
+    def test_checkpoint_every_requires_checkpoint_path(self):
+        from repro.cli import _durability
+
+        args = build_parser().parse_args(
+            ["scalability", "--checkpoint-every", "0.5"]
+        )
+        with pytest.raises(SystemExit, match="requires --checkpoint"):
+            _durability(args)
+
+    def test_durability_untouched_is_none(self):
+        from repro.cli import _durability
+
+        assert _durability(build_parser().parse_args(["scalability"])) is None
+        # Commands without the durable-runs group never build a policy.
+        assert _durability(build_parser().parse_args(["delay-timer"])) is None
+
 
 class TestExecution:
     def test_provisioning_smoke(self, capsys):
@@ -120,6 +147,26 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "PUE" in out and "gCO2" in out
         assert "22.0" in out and "30.0" in out
+
+    def test_interrupt_and_restore_smoke(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "run.ckpt")
+        base = ["scalability", "--servers", "64", "--num-jobs", "300"]
+        with pytest.raises(SystemExit) as exc:
+            main(base + ["--checkpoint", ckpt, "--stop-after-windows", "5"])
+        assert exc.value.code == 130
+        err = capsys.readouterr().err
+        assert f"--restore-from {ckpt}" in err
+
+        main(base + ["--restore-from", ckpt])
+        restored = capsys.readouterr().out
+        assert "restored-from-window=5" in restored
+
+        main(base + ["--shards", "1"])
+        reference = capsys.readouterr().out
+        merged = lambda text: [
+            l for l in text.splitlines() if l.startswith("merged ")
+        ]
+        assert merged(restored) == merged(reference)
 
     def test_bench_quick_smoke(self, capsys, tmp_path):
         import json
