@@ -57,6 +57,7 @@ from repro.checkpoint import LockHeldError
 from repro.runner import SweepInterrupted, SweepOptions
 from repro.experiments import (
     adaptive,
+    ai_training,
     delay_timer,
     facility_carbon,
     fault_resilience,
@@ -427,6 +428,62 @@ def _cmd_facility_carbon(args: argparse.Namespace) -> None:
     print(sweep.render())
 
 
+def _cmd_ai_training(args: argparse.Namespace) -> None:
+    if args.make_goal:
+        from repro.workload.goal import synthesize_training_goal
+
+        trace = synthesize_training_goal(
+            args.group_sizes[0],
+            args.steps,
+            compute_s=args.compute,
+            size_bytes=args.bytes,
+        )
+        trace.to_file(args.make_goal)
+        print(
+            f"wrote GOAL trace ({trace.n_ranks} ranks, {len(trace.ops)} ops) "
+            f"to {args.make_goal}"
+        )
+        return
+    if args.goal_trace:
+        result = ai_training.run_goal_replay(
+            args.goal_trace,
+            k=args.fat_tree_k,
+            seed=args.seed,
+            audit=_audit_mode(args),
+        )
+        print(result.render())
+        return
+    if args.shards is not None:
+        _print_sharded(
+            ai_training.run_ai_training_sharded(
+                shards=args.shards,
+                partitions=args.partitions,
+                group_size=args.group_sizes[0],
+                n_steps=args.steps,
+                algorithm=args.algorithms[0],
+                k=args.fat_tree_k,
+                seed=args.seed,
+                audit=_audit_mode(args),
+            )
+        )
+        return
+    comparison = ai_training.run_ai_training_sweep(
+        group_sizes=args.group_sizes,
+        algorithms=args.algorithms,
+        k=args.fat_tree_k,
+        n_steps=args.steps,
+        compute_s=args.compute,
+        size_bytes=args.bytes,
+        phase_batch=args.phase_batch,
+        compute_jitter=args.jitter,
+        seed=args.seed,
+        jobs=args.jobs,
+        sweep_options=_sweep_options(args),
+        audit=_audit_mode(args),
+    )
+    print(comparison.render())
+
+
 def _cmd_scalability(args: argparse.Namespace) -> None:
     if args.force_pool:
         pool = True
@@ -537,7 +594,7 @@ def build_parser() -> argparse.ArgumentParser:
         observability.add_argument(
             "--trace-categories", nargs="+", metavar="CAT", default=None,
             choices=["task", "power", "net", "sched", "fault", "job",
-                     "facility"],
+                     "facility", "collective"],
             help="restrict tracing to these event categories (default: all)",
         )
         observability.add_argument(
@@ -736,6 +793,49 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     durable(p)
     p.set_defaults(fn=_cmd_facility_carbon)
+
+    p = sub.add_parser(
+        "ai-training",
+        help="extension: synchronized training steps over collectives "
+             "(group size × algorithm sweep)",
+    )
+    p.add_argument("--group-sizes", type=int, nargs="+", metavar="P",
+                   default=[4, 8, 16],
+                   help="worker-group sizes (ranks) to sweep")
+    p.add_argument("--algorithms", nargs="+", metavar="ALG",
+                   default=list(ai_training.ALGORITHMS),
+                   choices=list(ai_training.ALGORITHMS),
+                   help="gradient-collective algorithms to sweep")
+    p.add_argument("--fat-tree-k", type=int, default=4)
+    p.add_argument("--steps", type=int, default=4,
+                   help="synchronized training steps per job")
+    p.add_argument("--compute", type=float, default=0.05,
+                   help="forward/backward compute time per step (s)")
+    p.add_argument("--bytes", type=float, default=4e6,
+                   help="gradient buffer size per step (bytes)")
+    p.add_argument("--phase-batch", type=int, default=None, metavar="B",
+                   help="fold B ring phases into one transfer (byte-exact; "
+                        "default: exact up to 64 phases, then capped)")
+    p.add_argument("--jitter", type=float, default=0.0,
+                   help="relative compute-time jitter in [0, 1) to model "
+                        "stragglers")
+    p.add_argument("--goal-trace", default=None, metavar="PATH",
+                   help="replay a GOAL-style application trace instead of "
+                        "the synthetic sweep")
+    p.add_argument("--make-goal", default=None, metavar="PATH",
+                   help="synthesize a training GOAL trace (first "
+                        "--group-sizes value) to PATH and exit")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="run the training reference scenario on the shard "
+                        "engine with N worker processes (first "
+                        "--group-sizes / --algorithms values); merged "
+                        "results are bit-identical across N")
+    p.add_argument("--partitions", type=int, default=2, metavar="P",
+                   help="model partitions for --shards (one fat-tree "
+                        "training cluster each; part of the scenario, not "
+                        "the execution)")
+    common(p)
+    p.set_defaults(fn=_cmd_ai_training)
 
     p = sub.add_parser("scalability", help="Table I: >20K-server scalability")
     p.add_argument("--servers", type=int, default=20_480)

@@ -1,0 +1,35 @@
+"""Collective-communication workloads (AI/HPC training traffic).
+
+HolDCSim's job model stops at web-style DAGs; this subsystem adds the
+workload family that dominates modern data-center networks (ATLAHS, DCSim):
+synchronized training steps built from collective operations.  Collectives
+are expressed as ordinary :class:`repro.jobs.task.Job` DAGs whose edges are
+chunked transfers, so they ride the existing flow / packet-train data plane
+unchanged — no new network primitives.
+
+* :mod:`repro.collective.groups` — container-style task groups with
+  placement affinity (one worker group = one set of ranks pinned to stable
+  servers by a placement-aware policy).
+* :mod:`repro.collective.templates` — ring/tree allreduce and all-to-all
+  DAG templates plus the synchronized-training-step generator, each with a
+  :class:`~repro.collective.templates.CollectiveSpec` recording the chunk
+  accounting (wire bytes, transfer counts) the conservation audits check.
+"""
+
+from repro.collective.groups import TaskGroup
+from repro.collective.templates import (
+    CollectiveSpec,
+    all_to_all_job,
+    ring_allreduce_job,
+    training_step_job,
+    tree_allreduce_job,
+)
+
+__all__ = [
+    "CollectiveSpec",
+    "TaskGroup",
+    "all_to_all_job",
+    "ring_allreduce_job",
+    "training_step_job",
+    "tree_allreduce_job",
+]

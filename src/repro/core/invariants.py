@@ -408,6 +408,83 @@ def audit_facility(facility: "Facility", now: float) -> AuditReport:
     return report
 
 
+def audit_collective(
+    scheduler: "GlobalScheduler",
+    network,
+    jobs: Sequence = (),
+    distinct_servers: bool = True,
+) -> AuditReport:
+    """Chunk accounting for collective workloads (allreduce / all-to-all).
+
+    Every collective template attaches a ``CollectiveSpec`` to its job
+    stating exactly how many transfers, and how many bytes, the collective
+    must push over the wire when each rank sits on its own server.  This
+    audit closes the loop: the scheduler launched exactly the promised
+    transfers, the network delivered every launched byte, and nothing was
+    stranded by a tail drop.  Set ``distinct_servers=False`` when ranks may
+    share servers (co-located ranks skip the wire, so the spec is only an
+    upper bound).
+    """
+    report = AuditReport()
+    expected_bytes = 0.0
+    expected_transfers = 0
+    for job in jobs:
+        spec = getattr(job, "collective", None)
+        if spec is None:
+            continue
+        report.record(
+            "collective.spec-sign", f"job-{job.job_id}",
+            spec.wire_bytes >= 0 and spec.n_transfers >= 0,
+            f"spec has wire_bytes={spec.wire_bytes!r} "
+            f"n_transfers={spec.n_transfers!r}",
+        )
+        expected_bytes += spec.wire_bytes
+        expected_transfers += spec.n_transfers
+    s = scheduler
+    if distinct_servers:
+        report.record(
+            "collective.transfers-launched", "scheduler",
+            s.transfers_launched == expected_transfers,
+            f"launched {s.transfers_launched} transfers but the specs "
+            f"promise {expected_transfers}",
+        )
+        report.record(
+            "collective.bytes-launched", "scheduler",
+            _close(s.transfer_bytes_launched, expected_bytes,
+                   scale=max(expected_bytes, 1.0)),
+            f"launched {s.transfer_bytes_launched:.9g} B but the specs "
+            f"promise {expected_bytes:.9g} B",
+        )
+    else:
+        report.record(
+            "collective.transfers-bounded", "scheduler",
+            s.transfers_launched <= expected_transfers,
+            f"launched {s.transfers_launched} transfers, more than the "
+            f"specs' upper bound {expected_transfers}",
+        )
+    delivered = getattr(network, "bytes_delivered", None)
+    if delivered is not None:
+        report.record(
+            "collective.bytes-delivered", "network",
+            _close(delivered, s.transfer_bytes_launched,
+                   scale=max(s.transfer_bytes_launched, 1.0)),
+            f"network delivered {delivered:.9g} B of "
+            f"{s.transfer_bytes_launched:.9g} B launched",
+        )
+    stranded = getattr(network, "transfers_stranded", 0)
+    report.record(
+        "collective.stranded", "network",
+        stranded == 0,
+        f"{stranded} transfer(s) stranded by tail drops",
+    )
+    report.record(
+        "collective.dropped", "scheduler",
+        s.transfers_dropped == 0,
+        f"{s.transfers_dropped} result transfer(s) reported dropped",
+    )
+    return report
+
+
 # ----------------------------------------------------------------------
 # Bundles
 # ----------------------------------------------------------------------

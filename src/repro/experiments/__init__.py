@@ -18,10 +18,13 @@ scaled-down parameters.
 | ``validation_switch`` | Fig. 13/14 (switch power trace vs physical)  |
 | ``fault_resilience``  | extension: availability vs server MTBF sweep |
 | ``facility_carbon``   | extension: setpoint × carbon facility sweep  |
+| ``ai_training``       | extension: synchronized training steps over  |
+|                       | collective workloads (group × algorithm)     |
 """
 
 from repro.experiments import (
     adaptive,
+    ai_training,
     delay_timer,
     dual_timer,
     facility_carbon,
@@ -35,6 +38,7 @@ from repro.experiments import (
 
 __all__ = [
     "adaptive",
+    "ai_training",
     "delay_timer",
     "dual_timer",
     "facility_carbon",

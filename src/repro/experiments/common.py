@@ -131,10 +131,15 @@ def register_farm_metrics(
     for name in (
         "jobs_submitted", "jobs_completed", "jobs_failed",
         "tasks_lost", "tasks_retried", "tasks_abandoned", "slo_violations",
+        "transfers_launched", "transfers_dropped",
     ):
         registry.register_counter(
             f"{prefix}scheduler.{name}", (lambda s=sched, n=name: getattr(s, n))
         )
+    registry.register_gauge(
+        f"{prefix}scheduler.transfer_bytes_launched",
+        lambda: sched.transfer_bytes_launched,
+    )
     registry.register_gauge(f"{prefix}scheduler.active_jobs", lambda: sched.active_jobs)
     registry.register_histogram(f"{prefix}scheduler.job_latency", sched.job_latency)
     registry.register_histogram(
@@ -156,7 +161,8 @@ def register_farm_metrics(
     if network is not None:
         for name in (
             "flows_completed", "flows_rerouted", "flows_stranded", "bits_delivered",
-            "packets_delivered", "packets_dropped", "transfers_stranded",
+            "packets_delivered", "packets_dropped", "bytes_delivered",
+            "transfers_stranded",
             "trains_engaged", "trains_express", "trains_materialized",
         ):
             if hasattr(network, name):

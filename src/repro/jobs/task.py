@@ -48,6 +48,7 @@ class Task:
         "service_time_s",
         "compute_intensity",
         "task_type",
+        "rank",
         "state",
         "server_id",
         "ready_time",
@@ -66,6 +67,7 @@ class Task:
         name: Optional[str] = None,
         compute_intensity: float = 1.0,
         task_type: str = "generic",
+        rank: Optional[int] = None,
     ):
         if service_time_s <= 0:
             raise ValueError(f"task service time must be positive, got {service_time_s}")
@@ -77,6 +79,9 @@ class Task:
         self.service_time_s = float(service_time_s)
         self.compute_intensity = float(compute_intensity)
         self.task_type = task_type
+        # Worker rank within the job's task group (collective workloads);
+        # placement-affinity policies pin equal ranks to stable servers.
+        self.rank = rank
         self.state = TaskState.BLOCKED
         self.server_id: Optional[int] = None
         self.ready_time: Optional[float] = None
@@ -148,6 +153,12 @@ class Job:
         self.job_id = next(Job._id_counter) if job_id is None else job_id
         self.arrival_time = float(arrival_time)
         self.job_type = job_type
+        # Container-style task group (see repro.collective.TaskGroup): ranks
+        # of this job's tasks index into the group's placement map.
+        self.group = None
+        # Chunk-accounting spec attached by collective templates; audited by
+        # repro.core.invariants.audit_collective after a run.
+        self.collective = None
         self.tasks: List[Task] = []
         self._edges: List[Tuple[int, int, float]] = []
         self._children: Dict[int, List[Tuple[int, float]]] = {}
@@ -165,6 +176,7 @@ class Job:
         name: Optional[str] = None,
         compute_intensity: float = 1.0,
         task_type: str = "generic",
+        rank: Optional[int] = None,
     ) -> Task:
         """Append a task and return it; tasks are indexed in creation order."""
         task = Task(
@@ -174,6 +186,7 @@ class Job:
             name=name,
             compute_intensity=compute_intensity,
             task_type=task_type,
+            rank=rank,
         )
         self.tasks.append(task)
         return task
@@ -198,6 +211,43 @@ class Job:
             self._parents[dst].pop()
             self.tasks[dst]._remaining_parents -= 1
             raise ValueError(f"edge ({src}, {dst}) would create a cycle")
+
+    def add_edges(self, edges: Iterable[Tuple[int, int, float]]) -> None:
+        """Add many ``(src, dst, transfer_bytes)`` edges, validating once.
+
+        :meth:`add_edge` re-runs a full cycle check per edge — quadratic in
+        the edge count, which collective templates (tens of thousands of
+        edges for a large worker group) cannot afford.  This path validates
+        indices and sizes per edge but checks acyclicity once at the end,
+        rolling everything back on failure.
+        """
+        added: List[Tuple[int, int, float]] = []
+        n = len(self.tasks)
+        try:
+            for src, dst, transfer_bytes in edges:
+                if not (0 <= src < n and 0 <= dst < n):
+                    raise ValueError(
+                        f"edge ({src}, {dst}) references missing tasks (n={n})"
+                    )
+                if src == dst:
+                    raise ValueError(f"self-dependency on task {src}")
+                if transfer_bytes < 0:
+                    raise ValueError(f"negative transfer size {transfer_bytes}")
+                record = (src, dst, float(transfer_bytes))
+                self._edges.append(record)
+                self._children.setdefault(src, []).append((dst, record[2]))
+                self._parents.setdefault(dst, []).append((src, record[2]))
+                self.tasks[dst]._remaining_parents += 1
+                added.append(record)
+            if self._has_cycle():
+                raise ValueError("edges would create a cycle")
+        except ValueError:
+            for src, dst, _size in reversed(added):
+                self._edges.pop()
+                self._children[src].pop()
+                self._parents[dst].pop()
+                self.tasks[dst]._remaining_parents -= 1
+            raise
 
     # -- structure queries --------------------------------------------------
     @property

@@ -319,6 +319,7 @@ class _Train:
         prop = self.hops[last][0].propagation_delay_s
         network.packet_delay.extend((d + prop) - t0 for d in deps)
         network.packets_delivered += len(deps)
+        network.bytes_delivered += sum(self.sizes)
         self.callback()
 
     # ------------------------------------------------------------------
@@ -327,10 +328,16 @@ class _Train:
     def _reserve(self) -> None:
         reserved = self.network._reserved
         for _link, u, v in self.hops:
-            # Both directions: reverse traffic shares the same ports, so it
-            # perturbs wake latencies the analytic schedule relies on.
             reserved[(u, v)] = self
-            reserved[(v, u)] = self
+            if self.mode == "express":
+                # Express precomputed the whole schedule assuming untouched
+                # ports, so even reverse-direction traffic (which shares the
+                # same ports) must fold it back.  Windowed trains read wake
+                # latencies live at each hop start and the link is full
+                # duplex (per-direction queues, rates and activity), so they
+                # hold only their own direction — opposite-direction trains
+                # coexist, the pattern every collective phase produces.
+                reserved[(v, u)] = self
 
     def _unreserve(self) -> None:
         reserved = self.network._reserved
@@ -431,6 +438,7 @@ class _Train:
                 else:
                     # Already delivered in the analytic world; settle stats.
                     network.packets_delivered += 1
+                    network.bytes_delivered += self.sizes[i]
                     network.packet_delay.record(arrival - self.t0)
                     state["remaining"] -= 1
         for h, entries in at_hop.items():
@@ -492,6 +500,7 @@ class PacketNetwork:
         self._transfer_seq = 0
         self.packets_delivered = 0
         self.packets_dropped = 0
+        self.bytes_delivered = 0.0
         self.transfers_stranded = 0
         self.trains_engaged = 0
         self.trains_express = 0
@@ -625,7 +634,9 @@ class PacketNetwork:
                         hops: List[Tuple[Link, str, str]]) -> bool:
         """True when the route can be simulated analytically.
 
-        Gates: every link idle in both directions and unreserved, uniform
+        Gates: every directed hop idle and unreserved (the reverse direction
+        may carry traffic — links are full duplex, with per-direction queues
+        and rates, and hop windows read port wake latencies live), uniform
         link rate with no adaptive-rate stepping (the pipeline recurrence
         assumes equal service rates), positive LPI timers (a zero timer can
         race the back-to-back restart), and every on-route switch ON.
@@ -639,9 +650,11 @@ class PacketNetwork:
                 rate = link.current_rate_bps
             elif link.current_rate_bps != rate:
                 return False
-            if link.busy:
+            if link.active_count(u, v):
                 return False
-            if (u, v) in reserved or (v, u) in reserved:
+            # An entry for (u, v) is either a train on this direction or an
+            # express train holding its reverse; both forbid batching here.
+            if (u, v) in reserved:
                 return False
             for port in link.ports.values():
                 if port.profile.lpi_timer_s <= 0.0:
@@ -683,6 +696,7 @@ class PacketNetwork:
         packet.hop_index += 1
         if packet.hop_index >= len(packet.path) - 1:
             self.packets_delivered += 1
+            self.bytes_delivered += packet.size_bytes
             self.packet_delay.record(self.engine.now - packet.sent_at)
             if packet.on_delivered is not None:
                 packet.on_delivered(packet)

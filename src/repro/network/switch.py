@@ -62,6 +62,12 @@ class Port:
         self.link: Optional["Link"] = None
         self._active_users = 0
         self._lpi_timer: Optional[EventHandle] = None
+        # Latest instant a user ended while others were still active.  When a
+        # *batched* end (``quiet_since``) later brings the count to zero, the
+        # true quiet instant is the max of the batch's window end and this
+        # candidate — exact even when full-duplex traffic interleaved with a
+        # packet-train window held open across the interleaving.
+        self._quiet_candidate: Optional[float] = None
         # Rate scaling factor set by adaptive link rate (1.0 = full rate).
         self.rate_factor = 1.0
 
@@ -91,12 +97,15 @@ class Port:
         if self._active_users <= 0:
             raise RuntimeError(f"{self} has no active users to end")
         self._active_users -= 1
+        basis = self.engine.now if quiet_since is None else quiet_since
         if self._active_users == 0:
             self.linecard._note_port_idle()
-            if quiet_since is None:
-                self._arm_lpi_timer()
-            else:
-                self._arm_lpi_timer_at(quiet_since + self.profile.lpi_timer_s)
+            if self._quiet_candidate is not None and self._quiet_candidate > basis:
+                basis = self._quiet_candidate
+            self._quiet_candidate = None
+            self._arm_lpi_timer_at(basis + self.profile.lpi_timer_s)
+        elif self._quiet_candidate is None or basis > self._quiet_candidate:
+            self._quiet_candidate = basis
 
     def cancel_activity(self) -> None:
         """Forget one ``begin_activity`` without any timer side effects.
@@ -110,6 +119,14 @@ class Port:
         self._active_users -= 1
         if self._active_users == 0:
             self.linecard._note_port_idle()
+            if self._quiet_candidate is not None:
+                # Other traffic came and went while this reservation masked
+                # the count; the port really went quiet when that traffic
+                # ended, so arm the timer the live call would have armed.
+                self._arm_lpi_timer_at(
+                    self._quiet_candidate + self.profile.lpi_timer_s
+                )
+                self._quiet_candidate = None
 
     @property
     def busy(self) -> bool:
@@ -123,10 +140,6 @@ class Port:
         self._set_state(PortState.OFF)
 
     # ------------------------------------------------------------------
-    def _arm_lpi_timer(self) -> None:
-        self._cancel_lpi_timer()
-        self._lpi_timer = self.engine.schedule(self.profile.lpi_timer_s, self._enter_lpi)
-
     def _arm_lpi_timer_at(self, deadline: float) -> None:
         self._cancel_lpi_timer()
         self._lpi_timer = self.engine.schedule_at(deadline, self._enter_lpi)

@@ -31,6 +31,7 @@ from repro.parallel.scenarios import (
     FRONTEND_PID,
     SCENARIOS,
     ScenarioSpec,
+    ai_spec,
     build_partition,
     facility_spec,
     faults_spec,
@@ -55,6 +56,7 @@ __all__ = [
     "ShardEndpoint",
     "ShardError",
     "ShardRunResult",
+    "ai_spec",
     "build_partition",
     "delivery_edge_index",
     "drain_window_count",

@@ -48,7 +48,7 @@ from repro.workload.arrivals import PoissonProcess, arrival_rate_for_utilization
 #: The front end always lives on partition 0.
 FRONTEND_PID = 0
 
-SCENARIOS = ("scalability", "faults", "facility", "joint")
+SCENARIOS = ("scalability", "faults", "facility", "joint", "ai")
 POOL_MODES = ("auto", "on", "off")
 
 #: Chaos actions understood by the worker runtime (crash-handling tests).
@@ -102,6 +102,14 @@ class ScenarioSpec:
     transfer_bytes: float = 1e6
     tau_s: float = 1.0
     switch_idle_threshold_s: float = 2.0
+    # -- ai training ----------------------------------------------------
+    group_size: int = 8
+    ai_steps: int = 2
+    ai_algorithm: str = "ring"
+    ai_compute_s: float = 0.05
+    ai_size_bytes: float = 4e6
+    #: 0 selects :func:`repro.experiments.ai_training.default_phase_batch`.
+    ai_phase_batch: int = 0
     # -- test hooks -----------------------------------------------------
     #: ``(pid, window, action)`` triples fired by the worker runtime just
     #: before reporting that window's barrier; used by the crash tests.
@@ -234,6 +242,15 @@ class PipelineDraw:
             float(rng.uniform(0.4, 1.2)),
             float(rng.uniform(0.4, 1.2)),
         )
+
+
+class EmptyDraw:
+    """No per-job draws: the job is a pure function of spec + job index."""
+
+    __slots__ = ()
+
+    def __call__(self, rng: np.random.Generator) -> tuple:
+        return ()
 
 
 # ----------------------------------------------------------------------
@@ -550,11 +567,82 @@ class JointPartition(PartitionModel):
         }
 
 
+class AiPartition(PartitionModel):
+    """One fat-tree training cluster per partition (collective workloads).
+
+    Each ``"job"`` message rebuilds a deterministic synchronized-training
+    job (:func:`repro.collective.training_step_job`) from the spec and the
+    job index alone, so the sharded run is a pure function of the scenario.
+    """
+
+    def _build(self) -> None:
+        from repro.experiments.ai_training import build_ai_cluster
+
+        spec = self.spec
+        cluster = build_ai_cluster(
+            self.engine,
+            k=spec.fat_tree_k,
+            n_cores=spec.n_cores,
+            link_rate_bps=spec.link_rate_bps,
+        )
+        if len(cluster.servers) != self.n_local:
+            raise ValueError(
+                f"ai scenario needs n_servers = n_partitions * (k^3/4); "
+                f"partition {self.pid} got {self.n_local} servers but the "
+                f"k={spec.fat_tree_k} cluster has {len(cluster.servers)}"
+            )
+        self.cluster = cluster
+        self.servers = cluster.servers
+        self.scheduler = cluster.scheduler
+
+    @staticmethod
+    def arrival_rate(spec: ScenarioSpec) -> float:
+        # One training job roughly every job-length of compute; the exact
+        # value only shapes overlap, determinism does not depend on it.
+        return 1.0 / max(spec.ai_steps * spec.ai_compute_s, 1e-3)
+
+    @staticmethod
+    def draw_services(spec: ScenarioSpec):
+        return EmptyDraw()
+
+    def _build_job(self, payload: tuple, now: float) -> Job:
+        from repro.experiments.ai_training import default_phase_batch
+        from repro.collective import training_step_job
+
+        spec = self.spec
+        (idx,) = payload
+        batch = spec.ai_phase_batch or default_phase_batch(spec.group_size)
+        return training_step_job(
+            spec.group_size,
+            spec.ai_steps,
+            compute_s=spec.ai_compute_s,
+            size_bytes=spec.ai_size_bytes,
+            algorithm=spec.ai_algorithm,
+            phase_batch=batch,
+            arrival_time=now,
+            job_id=idx,
+        )
+
+    def extra_snapshot(self, t_end: float) -> Dict[str, object]:
+        net = self.cluster.network
+        placement = self.cluster.placement
+        return {
+            "network_energy_j": self.cluster.topo.network_energy_j(t_end),
+            "bytes_delivered": net.bytes_delivered,
+            "trains_engaged": net.trains_engaged,
+            "trains_materialized": net.trains_materialized,
+            "transfers_launched": self.scheduler.transfers_launched,
+            "groups_placed": placement.groups_placed,
+            "cross_pod_spills": placement.cross_pod_spills,
+        }
+
+
 _PARTITION_CLASSES = {
     "scalability": ScalabilityPartition,
     "faults": FaultsPartition,
     "facility": FacilityPartition,
     "joint": JointPartition,
+    "ai": AiPartition,
 }
 
 
@@ -652,6 +740,37 @@ def facility_spec(
         duration_s=duration_s,
         setpoint_c=setpoint_c,
         carbon=carbon,
+        pool="off",
+        audit=audit,
+    )
+
+
+def ai_spec(
+    n_partitions: int = 2,
+    n_jobs: Optional[int] = None,
+    group_size: int = 8,
+    n_steps: int = 2,
+    algorithm: str = "ring",
+    fat_tree_k: int = 4,
+    seed: int = 11,
+    audit: str = "warn",
+) -> ScenarioSpec:
+    """Sharded ai-training reference: one fat-tree training cluster each."""
+    cluster_servers = fat_tree_k**3 // 4
+    return ScenarioSpec(
+        name="ai",
+        n_servers=n_partitions * cluster_servers,
+        n_jobs=n_jobs if n_jobs is not None else n_partitions,
+        n_cores=4,
+        seed=seed,
+        n_partitions=n_partitions,
+        window_s=0.25,
+        boundary_latency_s=0.25,
+        drain_s=0.5,
+        group_size=group_size,
+        ai_steps=n_steps,
+        ai_algorithm=algorithm,
+        fat_tree_k=fat_tree_k,
         pool="off",
         audit=audit,
     )

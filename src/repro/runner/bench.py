@@ -37,7 +37,7 @@ from repro.workload.profiles import (
     web_search_profile,
 )
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 
 def bench_engine_events(n_events: int = 200_000) -> float:
@@ -289,6 +289,80 @@ def bench_net_large_topology(n_routes: int = 30_000) -> float:
         router.route(f"h{src}", f"h{dst}", flow_key=f"f{i & 1023}")
     elapsed = time.perf_counter() - start
     return n_routes / elapsed
+
+
+def bench_collective(
+    n_ranks: int = 1024,
+    fat_tree_k: int = 16,
+    size_bytes: float = 1e6,
+    rounds: int = 8,
+) -> Dict[str, Any]:
+    """1,024-node ring allreduce end to end through the packet-train path.
+
+    One :func:`~repro.collective.ring_allreduce_job` over a k=16 fat tree
+    (1,024 hosts), placed by :class:`~repro.scheduling.placement.
+    GroupPlacementPolicy` and executed by the global scheduler over
+    :class:`~repro.network.packet.PacketNetwork` — the full collective
+    stack, not a microbench of one layer.  ``rounds`` DAG rounds fold the
+    ``2(p-1)`` chunk phases via ``phase_batch`` (byte-exact); the 1 MB
+    buffer keeps the per-packet train precompute (O(packets) per transfer)
+    from drowning the event-path cost this point gates.  The run ends with
+    a strict :func:`~repro.core.invariants.audit_collective`, so the bench
+    doubles as a conservation check at scale.
+    """
+    import math as _math
+
+    from repro.collective import ring_allreduce_job
+    from repro.core.invariants import audit_collective
+    from repro.network.packet import PacketNetwork
+    from repro.network.topology import fat_tree
+    from repro.scheduling.global_scheduler import GlobalScheduler
+    from repro.scheduling.placement import GroupPlacementPolicy
+    from repro.server.server import Server
+
+    engine = Engine()
+    topo = fat_tree(engine, fat_tree_k)
+    if topo.n_servers < n_ranks:
+        raise ValueError(
+            f"k={fat_tree_k} fat tree has {topo.n_servers} hosts < {n_ranks} ranks"
+        )
+    config = small_cloud_server(n_cores=1)
+    servers = [Server(engine, config, server_id=i) for i in range(topo.n_servers)]
+    net = PacketNetwork(engine, topo, fast_path=True, express=False)
+    scheduler = GlobalScheduler(
+        engine, servers, policy=GroupPlacementPolicy(topo), network=net
+    )
+    phases = 2 * (n_ranks - 1)
+    batch = _math.ceil(phases / rounds)
+    job = ring_allreduce_job(n_ranks, size_bytes, phase_batch=batch, job_id=0)
+    start = time.perf_counter()
+    scheduler.submit_job(job)
+    while scheduler.jobs_completed < 1:
+        if not engine.step():
+            break
+    wall = time.perf_counter() - start
+    if scheduler.jobs_completed != 1:
+        raise RuntimeError("collective bench: allreduce job did not complete")
+    audit_collective(scheduler, net, jobs=[job]).raise_if_violated()
+    return {
+        "n_ranks": n_ranks,
+        "fat_tree_k": fat_tree_k,
+        "size_bytes": size_bytes,
+        "phase_batch": batch,
+        "transfers": job.collective.n_transfers,
+        "wire_bytes": job.collective.wire_bytes,
+        "sim_time_s": round(engine.now, 6),
+        "wall_s": round(wall, 3),
+        "allreduce_events_per_s": round(engine.events_executed / wall)
+        if wall else 0,
+        "transfers_per_s": round(job.collective.n_transfers / wall)
+        if wall else 0,
+        "trains_engaged": net.trains_engaged,
+        "trains_materialized": net.trains_materialized,
+        "edge_switches_used": job.group.edge_switches_used,
+        "cross_pod_spills": job.group.cross_pod_spills,
+        "audit_ok": True,
+    }
 
 
 def bench_parallel(
@@ -593,6 +667,12 @@ def run_bench(
             "pool_peak": big.pool_peak,
         }
 
+    # Collective data plane: the committed 1,024-rank ring-allreduce point
+    # runs full-size in quick mode too — it IS the gate, and the strict
+    # conservation audit inside doubles as a correctness check at scale.
+    gc.collect()
+    result["collective"] = bench_collective()
+
     # Shard engine: serial inline vs worker processes on the identical spec.
     # The gated 4,096-server point runs in both modes; full mode adds the
     # 65,536-server tentpole point (single-shot — it is a demo, not a gate).
@@ -632,6 +712,7 @@ def check_regression(
         ("network", "fanout_transfers_per_s"),
         ("network", "routes_per_s"),
         ("scalability", "events_per_s"),
+        ("collective", "allreduce_events_per_s"),
         ("parallel", "events_per_s"),
     ]
     problems = []
@@ -724,6 +805,14 @@ def render(result: Dict[str, Any]) -> str:
             f"  scalability ({big.get('n_servers', 0):,} servers): "
             f"{big.get('events_per_s', 0):>12,} events/s, "
             f"{big.get('jobs_per_s', 0):,} jobs/s"
+        )
+    collective = result.get("collective")
+    if collective:
+        lines.append(
+            f"  collective ({collective.get('n_ranks', 0):,}-rank ring): "
+            f"{collective.get('allreduce_events_per_s', 0):>12,} events/s "
+            f"({collective.get('transfers', 0):,} transfers, "
+            f"{collective.get('trains_engaged', 0):,} trains)"
         )
     for key in ("parallel", "parallel_65536"):
         par = result.get(key)

@@ -18,12 +18,14 @@ from repro.scheduling.policies import (
     RoundRobinPolicy,
     TypeAwarePolicy,
 )
+from repro.scheduling.placement import GroupPlacementPolicy
 from repro.scheduling.global_scheduler import GlobalScheduler
 
 __all__ = [
     "CapacityGatedPolicy",
     "DispatchPolicy",
     "GlobalScheduler",
+    "GroupPlacementPolicy",
     "LeastLoadedPolicy",
     "PackingPolicy",
     "PowerObliviousPackingPolicy",

@@ -16,6 +16,7 @@ Responsibilities (paper §III-C/E):
 
 from __future__ import annotations
 
+import inspect
 from collections import deque
 from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
@@ -115,11 +116,24 @@ class GlobalScheduler:
         self.tasks_retried = 0
         self.tasks_abandoned = 0
         self.slo_violations = 0
+        self.transfers_launched = 0
+        self.transfer_bytes_launched = 0.0
+        self.transfers_dropped = 0
         self.job_latency = LatencyCollector("job_latency")
         self.task_queue_delay = LatencyCollector("task_queue_delay")
         self.transfer_delay = LatencyCollector("transfer_delay")
         self.on_job_complete: Optional[Callable[[Job], None]] = None
         self.on_job_failed: Optional[Callable[[Job], None]] = None
+
+        # Whether the network's transfer() accepts the on_drop callback
+        # (PR-3 loud tail-drop); older/simpler network models may not.
+        self._network_takes_on_drop = False
+        if network is not None:
+            try:
+                parameters = inspect.signature(network.transfer).parameters
+                self._network_takes_on_drop = "on_drop" in parameters
+            except (TypeError, ValueError):  # pragma: no cover - exotic callables
+                pass
 
         # Pending result transfers recorded per not-yet-placed child task:
         # child -> list of (src_server_id, bytes).
@@ -209,16 +223,34 @@ class GlobalScheduler:
             if size_bytes > 0 and src_server_id != server.server_id and self.network is not None:
                 task.transfer_started()
                 launched = True
+                self.transfers_launched += 1
+                self.transfer_bytes_launched += size_bytes
                 started_at = self.engine.now
-                self.network.transfer(
-                    src_server_id,
-                    server.server_id,
-                    size_bytes,
-                    _TransferDone(self, task, started_at),
-                )
+                done = _TransferDone(self, task, started_at)
+                if self._network_takes_on_drop:
+                    self.network.transfer(
+                        src_server_id,
+                        server.server_id,
+                        size_bytes,
+                        done,
+                        on_drop=self._transfer_dropped,
+                    )
+                else:
+                    self.network.transfer(
+                        src_server_id, server.server_id, size_bytes, done
+                    )
         if not launched and task.dependencies_met:
             self._submit(task, server)
         # If transfers were launched, _submit happens from the last callback.
+
+    def _transfer_dropped(self, packet) -> None:
+        """A result transfer lost a packet to tail drop and will never land.
+
+        The counter makes stranded transfers loud in reports; the task stays
+        blocked (matching the network's semantics) rather than being faked
+        as delivered.
+        """
+        self.transfers_dropped += 1
 
     def _submit(self, task: Task, server: "Server") -> None:
         if server.is_failed:
@@ -303,6 +335,19 @@ class GlobalScheduler:
             # written off — don't expand children or record completion.
             self._drain_global_queue(server)
             return
+        ts = telemetry.ACTIVE
+        if (
+            ts is not None
+            and ts.collective is not None
+            and task.task_type == "barrier"
+        ):
+            # One instant per synchronized training step (the barrier task
+            # closing it); rank stragglers show up as widening gaps.
+            rec = ts.collective
+            rec.instant(
+                "collective", "step", "collective/steps", now,
+                args={"job": rec.seq_id("job", job), "barrier": task.name},
+            )
         for child_index, transfer_bytes in job.children_of(task.index):
             child = job.tasks[child_index]
             child.parent_finished()
@@ -316,7 +361,19 @@ class GlobalScheduler:
             self.active_jobs -= 1
             self.jobs_completed += 1
             latency = job.latency()
-            ts = telemetry.ACTIVE
+            spec = getattr(job, "collective", None)
+            if ts is not None and ts.collective is not None and spec is not None:
+                rec = ts.collective
+                rec.instant(
+                    "collective", "complete", "collective/jobs", now,
+                    args={
+                        "job": rec.seq_id("job", job),
+                        "kind": spec.kind,
+                        "group_size": spec.group_size,
+                        "wire_bytes": spec.wire_bytes,
+                        "latency_s": latency,
+                    },
+                )
             if ts is not None and ts.job is not None:
                 rec = ts.job
                 jid = rec.seq_id("job", job)

@@ -37,7 +37,7 @@ from collections import deque
 from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
 
 #: Event categories, in taxonomy order (see DESIGN.md).
-CATEGORIES = ("task", "power", "net", "sched", "fault", "job", "facility")
+CATEGORIES = ("task", "power", "net", "sched", "fault", "job", "facility", "collective")
 
 #: One recorded event: (ts_s, cat, name, ph, track, dur_s, id, args).
 Event = Tuple[float, str, str, str, str, float, Optional[int], Optional[dict]]
@@ -57,6 +57,7 @@ _TRACK_PROCESSES = (
     ("jobs", "jobs"),
     ("fault/", "faults"),
     ("facility/", "facility"),
+    ("collective/", "collective"),
 )
 
 #: Fixed pid offsets per process name so track layout is stable across runs.
@@ -68,10 +69,11 @@ _PROCESS_IDS = {
     "faults": 5,
     "sim": 6,
     "facility": 7,
+    "collective": 8,
 }
 
 #: pid stride between sweep points in a merged multi-point trace.
-PROCESS_STRIDE = 8
+PROCESS_STRIDE = 9
 
 #: First line of a streamed trace file (JSONL post-mortem format).
 STREAM_KIND = "repro-trace-stream"

@@ -23,8 +23,16 @@ from repro.workload.arrivals import (
 )
 from repro.workload.trace import (
     ArrivalTrace,
+    check_time_value,
     synthesize_nlanr_trace,
     synthesize_wikipedia_trace,
+    validate_timestamps,
+)
+from repro.workload.goal import (
+    GoalOp,
+    GoalReplayDriver,
+    GoalTrace,
+    synthesize_training_goal,
 )
 from repro.workload.profiles import (
     DeterministicService,
@@ -42,6 +50,9 @@ __all__ = [
     "ArrivalTrace",
     "DeterministicService",
     "ExponentialService",
+    "GoalOp",
+    "GoalReplayDriver",
+    "GoalTrace",
     "MMPP2Process",
     "PoissonProcess",
     "ServiceTimeSampler",
@@ -50,8 +61,11 @@ __all__ = [
     "UniformService",
     "WorkloadDriver",
     "arrival_rate_for_utilization",
+    "check_time_value",
     "synthesize_nlanr_trace",
+    "synthesize_training_goal",
     "synthesize_wikipedia_trace",
+    "validate_timestamps",
     "web_search_profile",
     "web_serving_profile",
 ]

@@ -24,15 +24,49 @@ from typing import Callable, List, Optional, Sequence, Union
 import numpy as np
 
 
+def check_time_value(value: float, where: str, what: str = "timestamp") -> float:
+    """Reject NaN and negative time/size values with an attributed error.
+
+    ``where`` names the offending location (``"trace.txt:17"`` or
+    ``"trace[4]"``) so malformed inputs fail at the cause, not three modules
+    later.  Shared by :class:`ArrivalTrace` and the GOAL-style reader in
+    :mod:`repro.workload.goal`.
+    """
+    if math.isnan(value):
+        raise ValueError(f"{where}: {what} is NaN")
+    if value < 0:
+        raise ValueError(f"{where}: negative {what} {value!r}")
+    return value
+
+
+def validate_timestamps(
+    timestamps: Sequence[float],
+    *,
+    label: str = "trace",
+    locate: Optional[Callable[[int], str]] = None,
+) -> None:
+    """Reject NaN, negative, or unsorted timestamps, naming the offender.
+
+    ``locate`` maps a sequence index to a human-readable location (file
+    loaders pass ``path:line_no``); by default errors read ``label[index]``.
+    """
+    where = locate or (lambda i: f"{label}[{i}]")
+    previous: Optional[float] = None
+    for i, t in enumerate(timestamps):
+        check_time_value(t, where(i))
+        if previous is not None and t < previous:
+            raise ValueError(
+                f"{where(i)}: timestamps not sorted ({t!r} after {previous!r})"
+            )
+        previous = t
+
+
 class ArrivalTrace:
     """An immutable-ish sequence of arrival timestamps with utilities."""
 
     def __init__(self, timestamps: Sequence[float], name: str = "trace"):
         ts = [float(t) for t in timestamps]
-        if any(b < a for a, b in zip(ts, ts[1:])):
-            raise ValueError("trace timestamps must be non-decreasing")
-        if ts and ts[0] < 0:
-            raise ValueError("trace timestamps must be non-negative")
+        validate_timestamps(ts, label=name)
         self.timestamps = ts
         self.name = name
 
@@ -90,6 +124,7 @@ class ArrivalTrace:
         """Load a one-timestamp-per-line trace file (``#`` comments skipped)."""
         path = Path(path)
         timestamps: List[float] = []
+        line_nos: List[int] = []
         with open(path) as handle:
             for line_no, line in enumerate(handle, 1):
                 text = line.strip()
@@ -99,6 +134,10 @@ class ArrivalTrace:
                     timestamps.append(float(text))
                 except ValueError as exc:
                     raise ValueError(f"{path}:{line_no}: not a timestamp: {text!r}") from exc
+                line_nos.append(line_no)
+        # Validate here with file:line attribution; the constructor would
+        # only be able to blame an index.
+        validate_timestamps(timestamps, locate=lambda i: f"{path}:{line_nos[i]}")
         return cls(timestamps, name=name or path.stem)
 
     def to_file(self, path: Union[str, Path]) -> None:

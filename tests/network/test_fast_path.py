@@ -97,12 +97,25 @@ def test_cross_traffic_materializes_train():
     assert net.trains_materialized >= 1
 
 
-def test_reverse_direction_traffic_materializes_train():
-    # 1->0 uses the reverse directions of 0->1's links; the train reserves
-    # both, so the reverse transfer must materialize it.
+def test_reverse_direction_trains_coexist():
+    # 1->0 uses the reverse directions of 0->1's links.  Links are full
+    # duplex (per-direction queues, rates and activity) and train windows
+    # read wake latencies live, so both transfers ride trains concurrently
+    # without materializing — the pattern every ring-collective phase makes.
     events = [(0.0, 0, 1, 150_000.0), (1e-4, 1, 0, 15_000.0)]
     net = assert_equivalent(events)
-    assert net.trains_materialized >= 1
+    assert net.trains_engaged == 2
+    assert net.trains_materialized == 0
+
+
+def test_full_duplex_ring_phase_rides_trains():
+    # One ring-allreduce phase: every server sends to its successor at the
+    # same instant, so every access link carries traffic in both directions
+    # at once.  All transfers must batch, and stay bit-identical.
+    events = [(0.0, i, (i + 1) % 8, 45_000.0) for i in range(8)]
+    net = assert_equivalent(events)
+    assert net.trains_engaged == 8
+    assert net.trains_materialized == 0
 
 
 def test_simultaneous_transfers_same_instant():
@@ -120,9 +133,8 @@ def test_fat_tree_multihop_bit_matches():
 
 
 def test_fast_path_reduces_events_at_least_4x():
-    # Disjoint pairs so no two trains share a link (trains reserve both
-    # directions); each 100-packet transfer collapses from ~400 events to
-    # ~5.
+    # Disjoint pairs so no two trains share a link; each 100-packet
+    # transfer collapses from ~400 events to ~5.
     events = [(0.0, 2 * i, 2 * i + 1, 150_000.0) for i in range(4)]
     engine_s, topo_s, net_s, done_s = run_workload(events, fast_path=False)
     engine_f, topo_f, net_f, done_f = run_workload(events, fast_path=True)

@@ -1,0 +1,148 @@
+"""Network-aware group placement: bin-packing, spills, fall-through."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collective import TaskGroup, ring_allreduce_job
+from repro.core.config import small_cloud_server
+from repro.core.engine import Engine
+from repro.jobs.task import Job
+from repro.network.topology import fat_tree
+from repro.scheduling.placement import GroupPlacementPolicy
+from repro.server.server import Server
+
+
+def _cluster(k: int = 4, n_cores: int = 1):
+    engine = Engine()
+    topo = fat_tree(engine, k)
+    servers = [
+        Server(engine, small_cloud_server(n_cores=n_cores), server_id=i)
+        for i in range(topo.n_servers)
+    ]
+    return engine, topo, servers
+
+
+def _grouped_task(group: TaskGroup, rank: int):
+    job = Job(job_id=0)
+    job.group = group
+    return job.add_task(0.01, rank=rank)
+
+
+class TestGroupPlacementPolicy:
+    def test_small_group_packs_under_one_edge(self):
+        # fat_tree(4): 2 hosts per edge switch.
+        engine, topo, servers = _cluster(4)
+        policy = GroupPlacementPolicy(topo)
+        group = TaskGroup("g", 2)
+        chosen = {
+            policy.select_server(_grouped_task(group, r), servers).server_id
+            for r in range(2)
+        }
+        assert len(chosen) == 2
+        assert group.edge_switches_used == 1
+        assert group.pods_used == 1
+        assert group.cross_pod_spills == 0
+        assert policy.groups_placed == 1
+
+    def test_pod_overflow_spills_are_counted(self):
+        # fat_tree(4) has 4 hosts per pod; a 6-rank group must spill 2.
+        engine, topo, servers = _cluster(4)
+        policy = GroupPlacementPolicy(topo)
+        group = TaskGroup("g", 6)
+        for r in range(6):
+            policy.select_server(_grouped_task(group, r), servers)
+        assert group.pods_used == 2
+        assert group.cross_pod_spills == 2
+        assert policy.cross_pod_spills == 2
+
+    def test_placement_is_sticky_and_deterministic(self):
+        engine, topo, servers = _cluster(4)
+        policy = GroupPlacementPolicy(topo)
+        group = TaskGroup("g", 4)
+        first = [
+            policy.select_server(_grouped_task(group, r), servers).server_id
+            for r in range(4)
+        ]
+        second = [
+            policy.select_server(_grouped_task(group, r), servers).server_id
+            for r in range(4)
+        ]
+        assert first == second
+        assert policy.groups_placed == 1  # pinned, not re-packed
+
+        policy2 = GroupPlacementPolicy(fat_tree(Engine(), 4))
+        group2 = TaskGroup("g", 4)
+        engine2, topo2, servers2 = _cluster(4)
+        policy2 = GroupPlacementPolicy(topo2)
+        third = [
+            policy2.select_server(_grouped_task(group2, r), servers2).server_id
+            for r in range(4)
+        ]
+        assert third == first
+
+    def test_ranks_per_server_shares_servers(self):
+        engine, topo, servers = _cluster(4)
+        policy = GroupPlacementPolicy(topo, ranks_per_server=2)
+        group = TaskGroup("g", 4)
+        chosen = [
+            policy.select_server(_grouped_task(group, r), servers).server_id
+            for r in range(4)
+        ]
+        assert chosen[0] == chosen[1]
+        assert chosen[2] == chosen[3]
+        assert chosen[0] != chosen[2]
+
+    def test_ungrouped_task_falls_through_to_base(self):
+        engine, topo, servers = _cluster(4)
+
+        class Sentinel:
+            def __init__(self):
+                self.calls = 0
+
+            def select_server(self, task, candidates):
+                self.calls += 1
+                return candidates[0]
+
+        base = Sentinel()
+        policy = GroupPlacementPolicy(topo, base=base)
+        job = Job(job_id=0)
+        task = job.add_task(0.01)  # no group, no rank
+        assert policy.select_server(task, servers) is servers[0]
+        assert base.calls == 1
+
+    def test_dead_pinned_server_falls_through(self):
+        engine, topo, servers = _cluster(4)
+        policy = GroupPlacementPolicy(topo)
+        group = TaskGroup("g", 2)
+        pinned = policy.select_server(_grouped_task(group, 0), servers)
+        pinned.fail()
+        # The scheduler hands policies the alive-server list; the pinned
+        # server is gone from it, so the base policy finds a stand-in.
+        alive = [s for s in servers if not s.is_failed]
+        stand_in = policy.select_server(_grouped_task(group, 0), alive)
+        assert stand_in is not None
+        assert stand_in.server_id != pinned.server_id
+
+    def test_validates_ranks_per_server(self):
+        engine, topo, servers = _cluster(4)
+        with pytest.raises(ValueError, match="ranks_per_server"):
+            GroupPlacementPolicy(topo, ranks_per_server=0)
+
+    def test_ring_neighbors_land_on_adjacent_servers(self):
+        # Placement maps rank r to the r-th slot of the packed order, so
+        # ring neighbours (r, r+1) sit on servers under the same (or the
+        # next-fullest) edge switch — the property the closed-form latency
+        # test relies on.
+        engine, topo, servers = _cluster(8)
+        policy = GroupPlacementPolicy(topo)
+        job = ring_allreduce_job(4, 4000.0, job_id=0)
+        chosen = [
+            policy.select_server(
+                next(t for t in job.tasks if t.rank == r),
+                servers,
+            ).server_id
+            for r in range(4)
+        ]
+        assert len(set(chosen)) == 4
+        assert job.group.edge_switches_used == 1

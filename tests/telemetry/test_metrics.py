@@ -113,3 +113,25 @@ class TestExport:
         rows = list(csv.reader(path.open()))
         labels = {row[0] for row in rows[1:]}
         assert labels == {"tau=0", "tau=1"}
+
+
+class TestFarmMetricsSurface:
+    def test_transfer_loss_counters_surface(self):
+        # Satellite of the collective PR: stranded transfers and scheduler
+        # drop notifications must be first-class metrics, not buried fields.
+        from repro.experiments.ai_training import build_ai_cluster
+        from repro.experiments.common import Farm, register_farm_metrics
+        from repro.core.engine import Engine
+
+        engine = Engine()
+        cluster = build_ai_cluster(engine, k=4)
+        farm = Farm(
+            engine=engine, servers=cluster.servers,
+            scheduler=cluster.scheduler, rng=None,
+        )
+        reg = MetricsRegistry()
+        register_farm_metrics(reg, farm, network=cluster.network)
+        counters = reg.snapshot()["counters"]
+        assert counters["network.transfers_stranded"] == 0
+        assert counters["scheduler.transfers_dropped"] == 0
+        assert counters["scheduler.transfers_launched"] == 0

@@ -30,7 +30,8 @@ class TestParser:
     def test_jobs_flag_on_every_sweep_command(self):
         for command in (
             "provisioning", "delay-timer", "residency", "joint",
-            "faults", "facility-carbon", "scalability", "bench",
+            "faults", "facility-carbon", "ai-training", "scalability",
+            "bench",
         ):
             args = build_parser().parse_args([command, "--jobs", "4"])
             assert args.jobs == 4, command
@@ -147,6 +148,28 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "PUE" in out and "gCO2" in out
         assert "22.0" in out and "30.0" in out
+
+    def test_ai_training_smoke(self, capsys):
+        main([
+            "ai-training", "--group-sizes", "4", "--algorithms", "ring",
+            "--steps", "2", "--compute", "0.002", "--bytes", "40000",
+            "--strict-invariants",
+        ])
+        out = capsys.readouterr().out
+        assert "step(s)" in out and "ring" in out
+
+    def test_ai_training_goal_roundtrip(self, capsys, tmp_path):
+        goal = str(tmp_path / "train.goal")
+        main([
+            "ai-training", "--make-goal", goal, "--group-sizes", "4",
+            "--steps", "2", "--compute", "0.002", "--bytes", "40000",
+        ])
+        assert "wrote" in capsys.readouterr().out
+        main([
+            "ai-training", "--goal-trace", goal, "--strict-invariants",
+        ])
+        out = capsys.readouterr().out
+        assert "GOAL replay" in out
 
     def test_interrupt_and_restore_smoke(self, capsys, tmp_path):
         ckpt = str(tmp_path / "run.ckpt")
@@ -267,6 +290,27 @@ class TestObservabilityFlags:
              "--trace-categories", "facility"]
         )
         assert args.trace_categories == ["facility"]
+
+    def test_collective_trace_category_accepted(self):
+        args = build_parser().parse_args(
+            ["ai-training", "--trace", "t.json",
+             "--trace-categories", "collective"]
+        )
+        assert args.trace_categories == ["collective"]
+
+    def test_ai_training_defaults(self):
+        args = build_parser().parse_args(["ai-training"])
+        assert args.group_sizes == [4, 8, 16]
+        assert args.algorithms == ["ring", "tree", "all_to_all"]
+        assert args.fat_tree_k == 4
+        assert args.steps == 4
+        assert args.goal_trace is None
+        assert args.make_goal is None
+        assert args.shards is None
+
+    def test_ai_training_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ai-training", "--algorithms", "bogus"])
 
     def test_provisioning_arrival_trace_renamed(self):
         # --trace on provisioning now means the telemetry trace; the arrival

@@ -72,6 +72,27 @@ class TestArrivalTrace:
         with pytest.raises(ValueError, match="not a timestamp"):
             ArrivalTrace.from_file(path)
 
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match=r"trace\[1\]: timestamp is NaN"):
+            ArrivalTrace([1.0, float("nan"), 2.0])
+
+    def test_unsorted_error_names_offending_index(self):
+        with pytest.raises(ValueError, match=r"trace\[2\]: timestamps not sorted"):
+            ArrivalTrace([1.0, 5.0, 3.0])
+
+    def test_file_errors_name_offending_line(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        # Line 1 is a comment, so the bad value sits on line 4.
+        path.write_text("# header\n1.0\n2.0\n1.5\n")
+        with pytest.raises(ValueError, match=r"trace\.txt:4: timestamps not sorted"):
+            ArrivalTrace.from_file(path)
+        path.write_text("# header\n1.0\nnan\n")
+        with pytest.raises(ValueError, match=r"trace\.txt:3: timestamp is NaN"):
+            ArrivalTrace.from_file(path)
+        path.write_text("1.0\n-2.5\n")
+        with pytest.raises(ValueError, match=r"trace\.txt:2: negative timestamp"):
+            ArrivalTrace.from_file(path)
+
 
 class TestWikipediaSynth:
     def test_mean_rate_near_target(self, rng):
